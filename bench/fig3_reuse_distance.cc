@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: reuse-distance distribution of hot
+ * instruction lines measured in the L2, per benchmark.  The base rows
+ * count all unique lines between two accesses to a hot line in its
+ * set; the "~" rows count only unique hot lines (temporal locality of
+ * hot code absent non-hot interference).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace trrip;
+    using namespace trrip::bench;
+
+    banner("Figure 3: L2 reuse distance of hot lines "
+           "(fraction of accesses)");
+    printHeader("benchmark", {"0-4", "5-8", "9-16", "16+"});
+    for (const auto &name : proxyNames()) {
+        SimOptions opts = defaultOptions();
+        ReuseDistanceProfiler profiler(opts.hier.l2);
+        opts.reuse = &profiler;
+        run(name, "SRRIP", opts);
+        printRow(name, {profiler.base().fraction(0),
+                        profiler.base().fraction(1),
+                        profiler.base().fraction(2),
+                        profiler.base().fraction(3)});
+        printRow(name + "~", {profiler.hotOnly().fraction(0),
+                              profiler.hotOnly().fraction(1),
+                              profiler.hotOnly().fraction(2),
+                              profiler.hotOnly().fraction(3)});
+    }
+    std::printf("\nPaper: a large share of hot-line reuses sit at "
+                "distance 9+ (beyond 8-way retention), and the gap\n"
+                "between each base row and its ~ row is eviction "
+                "pressure from non-hot (warm/cold/data) lines.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: sensitivity to the compiler hot threshold
+ * Percentile_hot (Eqs. 1-2).  (a) fraction of the text section that
+ * classifies hot/warm/cold per threshold; (b) TRRIP-1 speedup over
+ * SRRIP when the application is rebuilt at each threshold.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace trrip;
+    using namespace trrip::bench;
+
+    const std::vector<std::string> benches{
+        "abseil", "deepsjeng", "gcc", "omnetpp", "rapidjson", "sqlite"};
+    const std::vector<double> thresholds{0.10, 0.80, 0.99, 0.9999,
+                                         1.0};
+    const std::vector<std::string> cols{"10%", "80%", "99%", "99.99%",
+                                        "100%"};
+
+    banner("Figure 8a: hot fraction of text section per "
+           "Percentile_hot");
+    printHeader("benchmark", cols);
+    std::map<std::string, std::vector<double>> speedups;
+    for (const auto &name : benches) {
+        const CoDesignPipeline pipeline(proxyParams(name));
+        const SimOptions base_opts = defaultOptions();
+        const auto srrip = pipeline.run("SRRIP", base_opts);
+        std::vector<double> hot_frac, gain;
+        for (double pct : thresholds) {
+            SimOptions opts = base_opts;
+            opts.classifier.percentileHot = pct;
+            const auto art = pipeline.run("TRRIP-1", opts);
+            hot_frac.push_back(
+                static_cast<double>(
+                    art.image.textBytes(Temperature::Hot)) /
+                static_cast<double>(art.image.textBytes()));
+            gain.push_back(CoDesignPipeline::speedupPercent(
+                srrip.result, art.result));
+        }
+        printRow(name, hot_frac, 10, 4);
+        speedups[name] = gain;
+    }
+
+    banner("Figure 8b: TRRIP-1 speedup (%) over SRRIP per "
+           "Percentile_hot");
+    printHeader("benchmark", cols);
+    for (const auto &name : benches)
+        printRow(name, speedups[name]);
+
+    std::printf("\nPaper: hot text grows slowly until ~99%% then "
+                "jumps; being selective maximizes gain -- 100%% "
+                "(everything executed is hot, the CLIP-like setting) "
+                "underperforms the selective thresholds.\n");
+    return 0;
+}

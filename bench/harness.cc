@@ -1,0 +1,49 @@
+#include "harness.hh"
+
+#include <cstdio>
+
+namespace trrip::bench {
+
+SimOptions
+defaultOptions()
+{
+    SimOptions opts;
+    opts.maxInstructions = defaultInstrBudget();
+    return opts;
+}
+
+RunArtifacts
+run(const std::string &workload_name, const std::string &policy_name,
+    const SimOptions &options)
+{
+    const CoDesignPipeline pipeline(proxyParams(workload_name));
+    return pipeline.run(policy_name, options);
+}
+
+void
+printHeader(const std::string &first,
+            const std::vector<std::string> &columns, int width)
+{
+    std::printf("%-12s", first.c_str());
+    for (const auto &c : columns)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &first, const std::vector<double> &values,
+         int width, int precision)
+{
+    std::printf("%-12s", first.c_str());
+    for (double v : values)
+        std::printf("%*.*f", width, precision, v);
+    std::printf("\n");
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace trrip::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction binaries: run
+ * caching, fixed-width table printing, and the instruction budget
+ * shared by every bench (env TRRIP_INSTR_MILLIONS).
+ */
+
+#ifndef TRRIP_BENCH_HARNESS_HH
+#define TRRIP_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/codesign.hh"
+#include "workloads/proxies.hh"
+
+namespace trrip::bench {
+
+/** Default SimOptions for bench runs (paper Table 1 configuration). */
+SimOptions defaultOptions();
+
+/** Run one (workload, policy) pair with the given options. */
+RunArtifacts run(const std::string &workload_name,
+                 const std::string &policy_name,
+                 const SimOptions &options);
+
+/** Print a table header row of right-aligned columns. */
+void printHeader(const std::string &first,
+                 const std::vector<std::string> &columns, int width = 10);
+
+/** Print one table data row. */
+void printRow(const std::string &first,
+              const std::vector<double> &values, int width = 10,
+              int precision = 2);
+
+/** Print a centered banner naming the reproduced table/figure. */
+void banner(const std::string &title);
+
+} // namespace trrip::bench
+
+#endif // TRRIP_BENCH_HARNESS_HH

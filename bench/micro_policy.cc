@@ -1,0 +1,58 @@
+/**
+ * @file
+ * google-benchmark microbenchmark: cost of one L2 access + fill
+ * decision per replacement policy (simulator-side overhead; also a
+ * proxy for the relative decision-logic complexity of each policy).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/policy_factory.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace trrip;
+
+void
+policyChurn(benchmark::State &state, const std::string &name)
+{
+    const CacheGeometry geom{"L2", 128 * 1024, 8, 64};
+    Cache cache(geom, makePolicy(name, geom));
+    Rng rng(42);
+    std::vector<MemRequest> reqs;
+    reqs.reserve(65536);
+    for (int i = 0; i < 65536; ++i) {
+        MemRequest r;
+        const bool inst = rng.chance(0.5);
+        r.vaddr = r.paddr = rng.below(2 * 1024 * 1024);
+        r.pc = r.vaddr;
+        r.type = inst ? AccessType::InstFetch : AccessType::Load;
+        r.temp = inst && rng.chance(0.4) ? Temperature::Hot
+                                         : Temperature::None;
+        r.priority = rng.chance(0.1);
+        reqs.push_back(r);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemRequest &r = reqs[i++ & 65535];
+        if (!cache.access(r))
+            cache.fill(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(policyChurn, LRU, std::string("LRU"));
+BENCHMARK_CAPTURE(policyChurn, SRRIP, std::string("SRRIP"));
+BENCHMARK_CAPTURE(policyChurn, BRRIP, std::string("BRRIP"));
+BENCHMARK_CAPTURE(policyChurn, DRRIP, std::string("DRRIP"));
+BENCHMARK_CAPTURE(policyChurn, SHiP, std::string("SHiP"));
+BENCHMARK_CAPTURE(policyChurn, CLIP, std::string("CLIP"));
+BENCHMARK_CAPTURE(policyChurn, Emissary, std::string("Emissary"));
+BENCHMARK_CAPTURE(policyChurn, TRRIP_1, std::string("TRRIP-1"));
+BENCHMARK_CAPTURE(policyChurn, TRRIP_2, std::string("TRRIP-2"));
+
+BENCHMARK_MAIN();

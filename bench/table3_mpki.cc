@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Table 3: raw SRRIP L2 MPKI (instruction and data)
+ * per benchmark, and per-mechanism MPKI reduction percentages
+ * (negative = MPKI increased).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+int
+main()
+{
+    using namespace trrip;
+    using namespace trrip::bench;
+
+    const std::vector<std::string> policies{
+        "LRU",  "BRRIP",    "DRRIP",   "SHiP",
+        "CLIP", "Emissary", "TRRIP-1", "TRRIP-2"};
+    const auto names = proxyNames();
+    const SimOptions opts = defaultOptions();
+
+    // Run everything once, keyed by (benchmark, policy).
+    std::map<std::string, std::map<std::string, SimResult>> results;
+    for (const auto &name : names) {
+        const CoDesignPipeline pipeline(proxyParams(name));
+        results[name]["SRRIP"] = pipeline.run("SRRIP", opts).result;
+        for (const auto &policy : policies)
+            results[name][policy] = pipeline.run(policy, opts).result;
+    }
+
+    banner("Table 3: raw L2 MPKI of SRRIP");
+    printHeader("benchmark", {"Inst.", "Data", "Inst/Data"});
+    std::vector<double> inst_mpkis, data_mpkis;
+    for (const auto &name : names) {
+        const auto &r = results[name]["SRRIP"];
+        printRow(name, {r.l2InstMpki, r.l2DataMpki,
+                        r.l2DataMpki > 0.0
+                            ? r.l2InstMpki / r.l2DataMpki
+                            : 0.0});
+        inst_mpkis.push_back(r.l2InstMpki);
+        data_mpkis.push_back(r.l2DataMpki);
+    }
+    printRow("geomean", {geomean(inst_mpkis), geomean(data_mpkis),
+                         geomean(inst_mpkis) / geomean(data_mpkis)});
+
+    for (const bool inst : {true, false}) {
+        banner(std::string("Table 3: L2 ") +
+               (inst ? "instruction" : "data") +
+               " MPKI reduction (%) vs SRRIP");
+        printHeader("benchmark", policies);
+        std::map<std::string, std::vector<double>> per_policy;
+        for (const auto &name : names) {
+            const auto &base = results[name]["SRRIP"];
+            std::vector<double> row;
+            for (const auto &policy : policies) {
+                const auto &r = results[name][policy];
+                const double red = CoDesignPipeline::reductionPercent(
+                    inst ? base.l2InstMpki : base.l2DataMpki,
+                    inst ? r.l2InstMpki : r.l2DataMpki);
+                row.push_back(red);
+                per_policy[policy].push_back(red);
+            }
+            printRow(name, row);
+        }
+        std::vector<double> geo;
+        for (const auto &policy : policies)
+            geo.push_back(
+                -geomeanPercent([&] {
+                    std::vector<double> negs;
+                    for (double v : per_policy[policy])
+                        negs.push_back(-v);
+                    return negs;
+                }()));
+        printRow("geomean", geo);
+    }
+
+    std::printf("\nPaper: TRRIP-1 cuts instruction MPKI 26.5%% "
+                "(TRRIP-2 27.3%%) at ~5%% data MPKI cost; BRRIP "
+                "explodes both; SHiP/DRRIP slightly negative.\n");
+    return 0;
+}

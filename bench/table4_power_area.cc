@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces paper Table 4: static power and area overheads of the
+ * evaluated mechanisms relative to SRRIP, from the McPAT-lite model
+ * (22nm-class, on-chip components only; the SLC is off-chip).
+ */
+
+#include <cstdio>
+
+#include "power/mcpat_lite.hh"
+
+int
+main()
+{
+    using namespace trrip;
+
+    McPatLite model;
+    const auto base = model.baseline();
+    std::printf("\n=== Table 4: static power and area overheads ===\n");
+    std::printf("baseline on-chip budget: %.2f mm^2, %.1f mW static\n\n",
+                base.areaMm2, base.staticMw);
+    std::printf("%-12s %16s %12s %12s\n", "mechanism", "extra bits",
+                "power (%)", "area (%)");
+    for (const auto &row : model.table4()) {
+        std::printf("%-12s %16llu %12.1f %12.1f\n", row.name.c_str(),
+                    static_cast<unsigned long long>(
+                        row.extraStorageBits),
+                    row.staticPowerPct, row.areaPct);
+    }
+    std::printf("\nPaper: TRRIP ~0.0/~0.0, CLIP ~0.0/~0.0, Emissary "
+                "0.5/0.7, SHiP 1.7/3.0 (%% power / %% area).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build a small interpreter-like workload, run the full
+ * TRRIP co-design pipeline (profile -> classify -> PGO layout -> load
+ * with PTE temperature bits -> simulate), and compare TRRIP-1 against
+ * the SRRIP baseline.
+ */
+
+#include <cstdio>
+
+#include "core/codesign.hh"
+#include "workloads/proxies.hh"
+
+int
+main()
+{
+    using namespace trrip;
+
+    // A small python-like dispatcher workload.
+    WorkloadParams params = proxyParams("python");
+    params.name = "quickstart";
+
+    CoDesignPipeline pipeline(params);
+
+    SimOptions opts;
+    opts.maxInstructions = 2'000'000;
+
+    const RunArtifacts srrip = pipeline.run("SRRIP", opts);
+    const RunArtifacts trrip = pipeline.run("TRRIP-1", opts);
+
+    std::printf("workload: %s (%zu functions, %zu basic blocks)\n",
+                params.name.c_str(),
+                pipeline.workload().program.numFunctions(),
+                pipeline.workload().program.numBlocks());
+    std::printf("hot text: %.1f KiB, warm: %.1f KiB, cold: %.1f KiB\n",
+                trrip.image.textBytes(Temperature::Hot) / 1024.0,
+                trrip.image.textBytes(Temperature::Warm) / 1024.0,
+                trrip.image.textBytes(Temperature::Cold) / 1024.0);
+    std::printf("\n%-12s %10s %10s %12s %12s\n", "policy", "IPC",
+                "cycles", "L2 I-MPKI", "L2 D-MPKI");
+    std::printf("%-12s %10.3f %10.0f %12.3f %12.3f\n", "SRRIP",
+                srrip.result.ipc(), srrip.result.cycles,
+                srrip.result.l2InstMpki, srrip.result.l2DataMpki);
+    std::printf("%-12s %10.3f %10.0f %12.3f %12.3f\n", "TRRIP-1",
+                trrip.result.ipc(), trrip.result.cycles,
+                trrip.result.l2InstMpki, trrip.result.l2DataMpki);
+
+    std::printf("\nTRRIP-1 speedup over SRRIP: %.2f%%\n",
+                CoDesignPipeline::speedupPercent(srrip.result,
+                                                 trrip.result));
+    std::printf("L2 instruction MPKI reduction: %.1f%%\n",
+                CoDesignPipeline::reductionPercent(
+                    srrip.result.l2InstMpki, trrip.result.l2InstMpki));
+    std::printf("hot-line evictions: SRRIP %llu -> TRRIP-1 %llu\n",
+                static_cast<unsigned long long>(
+                    srrip.result.l2HotEvictions),
+                static_cast<unsigned long long>(
+                    trrip.result.l2HotEvictions));
+    return 0;
+}

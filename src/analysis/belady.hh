@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Belady's optimal replacement oracle (Belady 1966), used by the
+ * property test suite as a lower bound on any real policy's demand
+ * misses, and by ablation benches to report headroom.
+ */
+
+#ifndef TRRIP_ANALYSIS_BELADY_HH
+#define TRRIP_ANALYSIS_BELADY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+
+namespace trrip {
+
+/**
+ * Minimum demand misses for an access sequence on a set-associative
+ * cache of the given geometry (line-granular addresses; no prefetch).
+ */
+std::uint64_t beladyMisses(const std::vector<Addr> &accesses,
+                           const CacheGeometry &geom);
+
+} // namespace trrip
+
+#endif // TRRIP_ANALYSIS_BELADY_HH

@@ -1,0 +1,45 @@
+#include "analysis/costly_miss.hh"
+
+#include <algorithm>
+
+#include "util/stats.hh"
+
+namespace trrip {
+
+double
+CostlyMissTracker::hotCoverage(const ElfImage &image, double percentile,
+                               bool exclude_external) const
+{
+    std::vector<const CostlyMiss *> universe;
+    universe.reserve(misses_.size());
+    std::vector<double> costs;
+    costs.reserve(misses_.size());
+    for (const CostlyMiss &m : misses_) {
+        if (exclude_external && image.isExternal(m.line))
+            continue;
+        universe.push_back(&m);
+        costs.push_back(m.cost);
+    }
+    if (universe.empty())
+        return 0.0;
+
+    // Keep only misses strictly above the Nth percentile cost; a
+    // percentile of zero keeps everything.
+    const double threshold =
+        percentile > 0.0 ? trrip::percentile(costs, percentile) : -1.0;
+    std::uint64_t qualifying = 0;
+    std::uint64_t in_hot = 0;
+    for (const CostlyMiss *m : universe) {
+        if (percentile > 0.0 && m->cost <= threshold)
+            continue;
+        ++qualifying;
+        if (image.sectionTempAt(m->line) == Temperature::Hot)
+            ++in_hot;
+    }
+    if (qualifying == 0)
+        return 0.0;
+    return static_cast<double>(in_hot) /
+           static_cast<double>(qualifying);
+}
+
+} // namespace trrip

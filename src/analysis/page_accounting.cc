@@ -1,0 +1,34 @@
+#include "analysis/page_accounting.hh"
+
+namespace trrip {
+
+namespace {
+
+std::uint64_t
+pagesFor(const ElfImage &image, Temperature temp,
+         std::uint64_t page_size)
+{
+    std::uint64_t pages = 0;
+    for (const ElfSection &s : image.sections) {
+        if (s.external || s.temp != temp || s.size == 0)
+            continue;
+        const Addr first = s.vaddr / page_size;
+        const Addr last = (s.end() - 1) / page_size;
+        pages += last - first + 1;
+    }
+    return pages;
+}
+
+} // namespace
+
+PageUsage
+countPages(const ElfImage &image, std::uint64_t page_size)
+{
+    PageUsage usage;
+    usage.hotPages = pagesFor(image, Temperature::Hot, page_size);
+    usage.warmPages = pagesFor(image, Temperature::Warm, page_size);
+    usage.coldPages = pagesFor(image, Temperature::Cold, page_size);
+    return usage;
+}
+
+} // namespace trrip

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static page accounting for paper Table 5: how many pages the hot and
+ * warm text sections occupy at 4 kB / 16 kB / 2 MB page sizes, rounded
+ * up to whole pages, plus the binary size.
+ */
+
+#ifndef TRRIP_ANALYSIS_PAGE_ACCOUNTING_HH
+#define TRRIP_ANALYSIS_PAGE_ACCOUNTING_HH
+
+#include <cstdint>
+
+#include "sw/elf_image.hh"
+
+namespace trrip {
+
+/** Page counts for one (image, page size) pair. */
+struct PageUsage
+{
+    std::uint64_t hotPages = 0;
+    std::uint64_t warmPages = 0;
+    std::uint64_t coldPages = 0;
+};
+
+/**
+ * Count pages touched by each temperature's sections at @p page_size.
+ * A page overlapped by two sections counts toward both, matching the
+ * paper's "rounded up to the nearest full page".
+ */
+PageUsage countPages(const ElfImage &image, std::uint64_t page_size);
+
+} // namespace trrip
+
+#endif // TRRIP_ANALYSIS_PAGE_ACCOUNTING_HH

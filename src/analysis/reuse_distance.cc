@@ -1,0 +1,50 @@
+#include "analysis/reuse_distance.hh"
+
+#include <algorithm>
+
+namespace trrip {
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(const CacheGeometry &geom,
+                                             std::size_t stack_cap) :
+    geom_(geom), stackCap_(stack_cap), stacks_(geom.numSets()),
+    base_({4, 8, 16}), hotOnly_({4, 8, 16})
+{
+}
+
+void
+ReuseDistanceProfiler::onL2Access(const MemRequest &req)
+{
+    const Addr line = geom_.lineAddr(req.paddr);
+    const bool hot = req.isInst() && req.temp == Temperature::Hot;
+    auto &stack = stacks_[geom_.setIndex(req.paddr)];
+
+    // Search from the MRU end; distance = unique lines above it.
+    std::size_t distance = 0;
+    std::size_t hot_distance = 0;
+    bool found = false;
+    std::size_t pos = 0;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i].line == line) {
+            found = true;
+            pos = i;
+            break;
+        }
+        ++distance;
+        if (stack[i].hot)
+            ++hot_distance;
+    }
+
+    if (found) {
+        if (hot) {
+            base_.add(distance);
+            hotOnly_.add(hot_distance);
+        }
+        stack.erase(stack.begin() +
+                    static_cast<std::ptrdiff_t>(pos));
+    } else if (stack.size() >= stackCap_) {
+        stack.erase(stack.begin());
+    }
+    stack.push_back(Entry{line, hot});
+}
+
+} // namespace trrip

@@ -1,0 +1,175 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+Cache::Cache(const CacheGeometry &geom,
+             std::unique_ptr<ReplacementPolicy> policy) :
+    geom_(geom), policy_(std::move(policy)),
+    lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc)
+{
+    geom_.check();
+    panic_if(!policy_, geom_.name, ": null replacement policy");
+}
+
+SetView
+Cache::setView(std::uint32_t set)
+{
+    return SetView(&lines_[static_cast<std::size_t>(set) * geom_.assoc],
+                   geom_.assoc);
+}
+
+int
+Cache::findWay(std::uint32_t set, Addr tag) const
+{
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        const CacheLine &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::access(const MemRequest &req)
+{
+    const std::uint32_t set = geom_.setIndex(req.paddr);
+    const Addr tag = geom_.tag(req.paddr);
+    const int way = findWay(set, tag);
+    const bool hit = way >= 0;
+
+    if (!req.isPrefetch()) {
+        ++stats_.demandAccesses;
+        if (req.isInst())
+            ++stats_.instDemandAccesses;
+        else
+            ++stats_.dataDemandAccesses;
+        if (!hit) {
+            ++stats_.demandMisses;
+            if (req.isInst())
+                ++stats_.instDemandMisses;
+            else
+                ++stats_.dataDemandMisses;
+        }
+    }
+
+    if (hit)
+        policy_->onHit(set, static_cast<std::uint32_t>(way),
+                       setView(set), req);
+    return hit;
+}
+
+bool
+Cache::contains(Addr paddr) const
+{
+    return findWay(geom_.setIndex(paddr), geom_.tag(paddr)) >= 0;
+}
+
+const CacheLine *
+Cache::find(Addr paddr) const
+{
+    const int way = findWay(geom_.setIndex(paddr), geom_.tag(paddr));
+    if (way < 0)
+        return nullptr;
+    return &lines_[static_cast<std::size_t>(geom_.setIndex(paddr)) *
+                       geom_.assoc + static_cast<std::uint32_t>(way)];
+}
+
+void
+Cache::markDirty(Addr paddr)
+{
+    const std::uint32_t set = geom_.setIndex(paddr);
+    const int way = findWay(set, geom_.tag(paddr));
+    if (way >= 0)
+        lines_[static_cast<std::size_t>(set) * geom_.assoc +
+               static_cast<std::uint32_t>(way)].dirty = true;
+}
+
+std::optional<CacheLine>
+Cache::fill(const MemRequest &req)
+{
+    const std::uint32_t set = geom_.setIndex(req.paddr);
+    const Addr tag = geom_.tag(req.paddr);
+    panic_if(findWay(set, tag) >= 0,
+             geom_.name, ": fill of already-present line");
+
+    SetView lines = setView(set);
+
+    // Prefer an invalid way; otherwise ask the policy for a victim.
+    std::uint32_t way = geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (!lines[w].valid) {
+            way = w;
+            break;
+        }
+    }
+
+    std::optional<CacheLine> evicted;
+    if (way == geom_.assoc) {
+        way = policy_->victim(set, lines, req);
+        panic_if(way >= geom_.assoc,
+                 geom_.name, ": policy returned invalid victim way");
+        CacheLine &victim = lines[way];
+        policy_->onEvict(set, way, victim);
+        ++stats_.evictions;
+        ++stats_.evictionsByTemp[encodeTemperature(victim.temp)];
+        if (victim.isInst)
+            ++stats_.instEvictions;
+        else
+            ++stats_.dataEvictions;
+        if (victim.dirty)
+            ++stats_.writebacks;
+        evicted = victim;
+    }
+
+    CacheLine &line = lines[way];
+    line.invalidate();
+    line.valid = true;
+    line.tag = tag;
+    line.addr = geom_.lineAddr(req.paddr);
+    line.isInst = req.isInst();
+    line.temp = req.isInst() ? req.temp : Temperature::None;
+    line.dirty = req.isWrite();
+
+    ++stats_.fills;
+    if (req.isPrefetch())
+        ++stats_.prefetchFills;
+    policy_->onFill(set, way, lines, req);
+    return evicted;
+}
+
+std::optional<CacheLine>
+Cache::invalidate(Addr paddr)
+{
+    const std::uint32_t set = geom_.setIndex(paddr);
+    const int way = findWay(set, geom_.tag(paddr));
+    if (way < 0)
+        return std::nullopt;
+    CacheLine &line = lines_[static_cast<std::size_t>(set) * geom_.assoc +
+                             static_cast<std::uint32_t>(way)];
+    const CacheLine copy = line;
+    line.invalidate();
+    ++stats_.invalidations;
+    return copy;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line.invalidate();
+    stats_ = CacheStats();
+}
+
+} // namespace trrip

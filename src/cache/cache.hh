@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A single set-associative cache level with a pluggable replacement
+ * policy and instrumentation counters.
+ */
+
+#ifndef TRRIP_CACHE_CACHE_HH
+#define TRRIP_CACHE_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/line.hh"
+#include "cache/replacement/policy.hh"
+#include "mem/request.hh"
+
+namespace trrip {
+
+/** Hit/miss/eviction counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t instDemandAccesses = 0;
+    std::uint64_t instDemandMisses = 0;
+    std::uint64_t dataDemandAccesses = 0;
+    std::uint64_t dataDemandMisses = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidations = 0;
+    /** Evictions by instrumentation temperature (hot evictions etc.). */
+    std::array<std::uint64_t, 4> evictionsByTemp{};
+    /** Evictions of instruction vs data lines. */
+    std::uint64_t instEvictions = 0;
+    std::uint64_t dataEvictions = 0;
+};
+
+/**
+ * One cache level.  The cache is functional: it tracks contents and
+ * policy state; the hierarchy layer adds timing.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheGeometry &geom,
+          std::unique_ptr<ReplacementPolicy> policy);
+
+    const CacheGeometry &geometry() const { return geom_; }
+    ReplacementPolicy &policy() { return *policy_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Look up @p req; on hit run the policy hit handler and return
+     * true.  Never fills.  Demand accesses update the counters.
+     */
+    bool access(const MemRequest &req);
+
+    /** True if the line holding @p paddr is present. */
+    bool contains(Addr paddr) const;
+
+    /** Pointer to the line holding @p paddr, or nullptr. */
+    const CacheLine *find(Addr paddr) const;
+
+    /** Mark the line holding @p paddr dirty (store hit). */
+    void markDirty(Addr paddr);
+
+    /**
+     * Install the line for @p req, evicting if necessary.
+     * @return The evicted line if a valid line was displaced.
+     */
+    std::optional<CacheLine> fill(const MemRequest &req);
+
+    /**
+     * Remove the line holding @p paddr (inclusive back-invalidation).
+     * @return The invalidated line if it was present.
+     */
+    std::optional<CacheLine> invalidate(Addr paddr);
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t residentLines() const;
+
+    /** Direct set view for tests and analysis. */
+    SetView setView(std::uint32_t set);
+
+    /** Reset contents and statistics. */
+    void reset();
+
+  private:
+    int findWay(std::uint32_t set, Addr tag) const;
+
+    CacheGeometry geom_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major.
+    CacheStats stats_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_CACHE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Set-associative cache geometry and address decomposition helpers.
+ */
+
+#ifndef TRRIP_CACHE_GEOMETRY_HH
+#define TRRIP_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace trrip {
+
+/**
+ * Size/associativity/line-size description of one cache level, with
+ * the derived address mapping (line offset | set index | tag).
+ */
+struct CacheGeometry
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+
+    /** Number of sets. */
+    std::uint32_t
+    numSets() const
+    {
+        const std::uint64_t sets = sizeBytes / (static_cast<std::uint64_t>(
+                                       assoc) * lineBytes);
+        return static_cast<std::uint32_t>(sets);
+    }
+
+    /** Validate that the geometry is a consistent power-of-two layout. */
+    void
+    check() const
+    {
+        fatal_if(lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0,
+                 name, ": line size must be a power of two");
+        fatal_if(assoc == 0, name, ": associativity must be > 0");
+        fatal_if(sizeBytes % (static_cast<std::uint64_t>(assoc) *
+                              lineBytes) != 0,
+                 name, ": size not divisible by assoc * line");
+        const std::uint32_t sets = numSets();
+        fatal_if(sets == 0 || (sets & (sets - 1)) != 0,
+                 name, ": set count must be a power of two");
+    }
+
+    /** Align an address down to its line. */
+    Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(
+        lineBytes - 1); }
+
+    /** Set index of an address. */
+    std::uint32_t
+    setIndex(Addr a) const
+    {
+        return static_cast<std::uint32_t>(
+            (a / lineBytes) & (numSets() - 1));
+    }
+
+    /** Tag of an address (line address above the set bits). */
+    Addr tag(Addr a) const { return (a / lineBytes) / numSets(); }
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_GEOMETRY_HH

@@ -1,0 +1,307 @@
+#include "cache/hierarchy.hh"
+
+#include "cache/replacement/lru.hh"
+#include "util/logging.hh"
+
+namespace trrip {
+
+namespace {
+
+/** Build a synthetic request to re-insert an evicted line downstream. */
+MemRequest
+requestFor(const CacheLine &line)
+{
+    MemRequest req;
+    req.vaddr = line.addr;
+    req.paddr = line.addr;
+    req.pc = 0;
+    req.type = line.isInst ? AccessType::InstFetch : AccessType::Load;
+    req.temp = line.temp;
+    return req;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(
+    const HierarchyParams &params,
+    std::unique_ptr<ReplacementPolicy> l2_policy) :
+    params_(params),
+    l1i_(params.l1i, std::make_unique<LruPolicy>(params.l1i)),
+    l1d_(params.l1d, std::make_unique<LruPolicy>(params.l1d)),
+    l2_(params.l2, std::move(l2_policy)),
+    slc_(params.slc, std::make_unique<LruPolicy>(params.slc)),
+    dram_(params.dram),
+    l1dStride_(256, params.l1dStrideDegree),
+    l2Stride_(256, params.l2StrideDegree),
+    instNextLine_(params.instNextLineDegree, params.l2.lineBytes)
+{
+}
+
+AccessOutcome
+CacheHierarchy::instFetch(const MemRequest &req, Cycles now)
+{
+    panic_if(req.type != AccessType::InstFetch,
+             "instFetch called with non-fetch request");
+    if (l1i_.access(req))
+        return AccessOutcome{};
+    return beyondL1(req, now, true);
+}
+
+AccessOutcome
+CacheHierarchy::dataAccess(const MemRequest &req, Cycles now)
+{
+    panic_if(req.isInst(), "dataAccess called with instruction request");
+    if (l1d_.access(req)) {
+        if (req.isWrite())
+            l1d_.markDirty(req.paddr);
+        return AccessOutcome{};
+    }
+    // Train the L1D stride prefetcher on demand misses.
+    if (params_.enablePrefetch && !req.isPrefetch()) {
+        pfScratch_.clear();
+        l1dStride_.train(req.pc, req.paddr, pfScratch_);
+        for (Addr a : pfScratch_) {
+            MemRequest pf = req;
+            pf.vaddr = pf.paddr = a;
+            pf.type = AccessType::DataPrefetch;
+            issuePrefetch(pf, now);
+        }
+    }
+    AccessOutcome out = beyondL1(req, now, false);
+    if (req.isWrite())
+        l1d_.markDirty(req.paddr);
+    return out;
+}
+
+AccessOutcome
+CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
+{
+    const Addr line = params_.l2.lineAddr(req.paddr);
+    AccessOutcome out;
+    out.l1Miss = true;
+
+    if (l2Observer_ && !req.isPrefetch())
+        l2Observer_->onL2Access(req);
+
+    // Completed prefetches become real L2 content before the lookup.
+    materializePrefetch(line, now, req);
+
+    Cache &l1 = is_inst ? l1i_ : l1d_;
+
+    if (l2_.access(req)) {
+        out.servedBy = ServedBy::L2;
+        out.latency = params_.l2TagLat + params_.l2DataLat;
+        fillL1(l1, req);
+        return out;
+    }
+
+    out.l2DemandMiss = !req.isPrefetch();
+
+    // A late prefetch merges the demand into the outstanding fill.
+    auto it = inflight_.find(line);
+    if (it != inflight_.end()) {
+        out.servedBy = ServedBy::Inflight;
+        // Fill-and-forward: the demand waits out the remaining fill
+        // time; the data is bypassed to the requester on arrival.
+        out.latency = it->second.ready > now
+                          ? it->second.ready - now
+                          : params_.l2DataLat;
+        ++pfStats_.late;
+        inflight_.erase(it);
+        // Data arrives via the prefetch; consume any SLC copy and
+        // install without charging DRAM again.
+        slc_.invalidate(line);
+        fillL2(req, now);
+        fillL1(l1, req);
+        return out;
+    }
+
+    // Train the L2 prefetchers on true demand misses.
+    if (params_.enablePrefetch && !req.isPrefetch()) {
+        pfScratch_.clear();
+        if (is_inst)
+            instNextLine_.train(line, pfScratch_);
+        else
+            l2Stride_.train(req.pc, req.paddr, pfScratch_);
+        for (Addr a : pfScratch_) {
+            MemRequest pf = req;
+            pf.vaddr = pf.paddr = a;
+            pf.type = is_inst ? AccessType::InstPrefetch
+                              : AccessType::DataPrefetch;
+            issuePrefetch(pf, now);
+        }
+    }
+
+    if (slc_.access(req)) {
+        out.servedBy = ServedBy::Slc;
+        out.latency = params_.l2TagLat + params_.slcTagLat +
+                      params_.slcDataLat;
+        if (params_.slcExclusive)
+            slc_.invalidate(line);
+        fillL2(req, now);
+        fillL1(l1, req);
+        return out;
+    }
+
+    out.servedBy = ServedBy::Dram;
+    out.latency = params_.l2TagLat + params_.slcTagLat + dram_.read(now);
+    fillL2(req, now);
+    fillL1(l1, req);
+    return out;
+}
+
+void
+CacheHierarchy::instPrefetch(const MemRequest &req, Cycles now)
+{
+    panic_if(req.type != AccessType::InstPrefetch,
+             "instPrefetch needs an InstPrefetch request");
+    issuePrefetch(req, now);
+}
+
+void
+CacheHierarchy::issuePrefetch(const MemRequest &req, Cycles now)
+{
+    const Addr line = params_.l2.lineAddr(req.paddr);
+    if (l2_.contains(line) || inflight_.count(line))
+        return;
+    pruneInflight(now);
+
+    Cycles latency = params_.l2TagLat + params_.slcTagLat;
+    if (slc_.contains(line)) {
+        latency += params_.slcDataLat;
+    } else {
+        latency += dram_.read(now);
+    }
+    inflight_.emplace(line, Inflight{now + latency});
+    ++pfStats_.issued;
+}
+
+void
+CacheHierarchy::materializePrefetch(Addr line, Cycles now,
+                                    const MemRequest &demand)
+{
+    auto it = inflight_.find(line);
+    if (it == inflight_.end() || it->second.ready > now)
+        return;
+    inflight_.erase(it);
+    ++pfStats_.covered;
+    // The prefetched data displaces any SLC copy (exclusive move).
+    slc_.invalidate(line);
+    MemRequest fill = demand;
+    fill.vaddr = fill.paddr = line;
+    fill.type = demand.isInst() ? AccessType::InstPrefetch
+                                : AccessType::DataPrefetch;
+    fillL2(fill, now);
+}
+
+void
+CacheHierarchy::pruneInflight(Cycles now)
+{
+    if (inflight_.size() < 65536)
+        return;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.ready + 100000 < now)
+            it = inflight_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+CacheHierarchy::fillL2(const MemRequest &req, Cycles now)
+{
+    auto evicted = l2_.fill(req);
+    if (!evicted)
+        return;
+
+    CacheLine victim = *evicted;
+    if (params_.l2Inclusive) {
+        // Back-invalidate the L1s; a dirty L1D copy folds its data
+        // into the victim on the way out.
+        l1i_.invalidate(victim.addr);
+        if (auto l1line = l1d_.invalidate(victim.addr);
+            l1line && l1line->dirty) {
+            victim.dirty = true;
+        }
+    }
+    victimToSlc(victim, now);
+}
+
+void
+CacheHierarchy::victimToSlc(const CacheLine &line, Cycles now)
+{
+    if (!params_.slcExclusive && slc_.contains(line.addr)) {
+        if (line.dirty)
+            slc_.markDirty(line.addr);
+        return;
+    }
+    MemRequest req = requestFor(line);
+    if (line.dirty)
+        req.type = AccessType::Store;
+    auto evicted = slc_.fill(req);
+    if (evicted && evicted->dirty)
+        dram_.write(now);
+}
+
+void
+CacheHierarchy::fillL1(Cache &l1, const MemRequest &req)
+{
+    auto evicted = l1.fill(req);
+    if (evicted && evicted->dirty) {
+        // Inclusive L2 still holds the line; just mark it dirty.
+        if (l2_.contains(evicted->addr))
+            l2_.markDirty(evicted->addr);
+    }
+}
+
+void
+CacheHierarchy::markL2Priority(Addr paddr)
+{
+    const std::uint32_t set = params_.l2.setIndex(paddr);
+    const Addr tag = params_.l2.tag(paddr);
+    for (CacheLine &line : l2_.setView(set)) {
+        if (line.valid && line.tag == tag) {
+            line.priority = true;
+            return;
+        }
+    }
+}
+
+double
+CacheHierarchy::l2InstMpki(InstCount instructions) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(l2_.stats().instDemandMisses) * 1000.0 /
+           static_cast<double>(instructions);
+}
+
+double
+CacheHierarchy::l2DataMpki(InstCount instructions) const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(l2_.stats().dataDemandMisses) * 1000.0 /
+           static_cast<double>(instructions);
+}
+
+bool
+CacheHierarchy::checkInclusion() const
+{
+    if (!params_.l2Inclusive)
+        return true;
+    // Every valid L1 line must be present in the L2.
+    const auto check = [this](const Cache &l1) {
+        auto &mut = const_cast<Cache &>(l1);
+        for (std::uint32_t s = 0; s < l1.geometry().numSets(); ++s) {
+            for (const CacheLine &line : mut.setView(s)) {
+                if (line.valid && !l2_.contains(line.addr))
+                    return false;
+            }
+        }
+        return true;
+    };
+    return check(l1i_) && check(l1d_);
+}
+
+} // namespace trrip

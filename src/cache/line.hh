@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-line cache metadata.
+ *
+ * The block carries the union of all per-line state the implemented
+ * replacement policies need (RRPV, LRU stamp, SHiP signature/outcome,
+ * Emissary priority bit).  Each policy reads/writes only its own
+ * fields; keeping them in one POD keeps the policy interface uniform
+ * and the storage cost of each baseline auditable (see power model).
+ *
+ * @note @c temp mirrors the request temperature at fill time purely for
+ *       simulator instrumentation (hot-eviction statistics, Fig. 3
+ *       style analyses).  The TRRIP hardware proposal deliberately does
+ *       NOT store temperature in the cache (paper section 3.4); no
+ *       policy decision in TrripPolicy reads this field.
+ */
+
+#ifndef TRRIP_CACHE_LINE_HH
+#define TRRIP_CACHE_LINE_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace trrip {
+
+/** Metadata for one cache line (way) in a set. */
+struct CacheLine
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr tag = 0;
+    Addr addr = 0;              //!< Full line-aligned address.
+    bool isInst = false;        //!< Filled by an instruction request.
+
+    /** Instrumentation-only copy of the fill-time page temperature. */
+    Temperature temp = Temperature::None;
+
+    /** @name Replacement policy state */
+    /** @{ */
+    std::uint8_t rrpv = 0;          //!< RRIP re-reference prediction.
+    std::uint64_t lruStamp = 0;     //!< LRU recency stamp.
+    std::uint16_t signature = 0;    //!< SHiP PC signature.
+    bool outcome = false;           //!< SHiP reuse ("was re-referenced").
+    bool priority = false;          //!< Emissary costly-line bit.
+    /** @} */
+
+    /** Reset to the invalid state. */
+    void
+    invalidate()
+    {
+        *this = CacheLine();
+    }
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_LINE_HH

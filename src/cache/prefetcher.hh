@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hardware prefetch engines from the paper's Table 1 configuration:
+ * per-PC stride prefetching for data and next-line prefetching for
+ * instructions.  (The FDIP instruction prefetcher lives in the core
+ * model, sim/core_model.hh, because it queries the branch predictors.)
+ */
+
+#ifndef TRRIP_CACHE_PREFETCHER_HH
+#define TRRIP_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace trrip {
+
+/**
+ * Classic per-PC stride detector.  A small direct-mapped table tracks
+ * the last address and stride per load PC; two consecutive identical
+ * strides arm the entry and prefetches of degree N are generated.
+ */
+class StridePrefetcher
+{
+  public:
+    /**
+     * @param entries Table entries (power of two).
+     * @param degree Prefetches issued per trained miss.
+     */
+    explicit StridePrefetcher(std::size_t entries = 256,
+                              unsigned degree = 2) :
+        table_(entries), degree_(degree)
+    {}
+
+    /**
+     * Observe a (pc, addr) demand miss; append predicted prefetch
+     * addresses to @p out.
+     */
+    void
+    train(Addr pc, Addr addr, std::vector<Addr> &out)
+    {
+        Entry &e = table_[(pc >> 2) & (table_.size() - 1)];
+        if (e.pc != pc) {
+            e = Entry();
+            e.pc = pc;
+            e.lastAddr = addr;
+            return;
+        }
+        const std::int64_t stride =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(e.lastAddr);
+        if (stride != 0 && stride == e.stride) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.confidence = (e.confidence > 0) ? e.confidence - 1 : 0;
+            e.stride = stride;
+        }
+        e.lastAddr = addr;
+        if (e.confidence >= 2 && e.stride != 0) {
+            for (unsigned d = 1; d <= degree_; ++d) {
+                out.push_back(static_cast<Addr>(
+                    static_cast<std::int64_t>(addr) +
+                    e.stride * static_cast<std::int64_t>(d)));
+            }
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    std::vector<Entry> table_;
+    unsigned degree_;
+};
+
+/** Sequential next-line prefetcher for instruction misses. */
+class NextLinePrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1,
+                                std::uint32_t line_bytes = 64) :
+        degree_(degree), lineBytes_(line_bytes)
+    {}
+
+    /** Append the next @c degree line addresses after @p addr. */
+    void
+    train(Addr addr, std::vector<Addr> &out) const
+    {
+        for (unsigned d = 1; d <= degree_; ++d)
+            out.push_back(addr + static_cast<Addr>(d) * lineBytes_);
+    }
+
+  private:
+    unsigned degree_;
+    std::uint32_t lineBytes_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_PREFETCHER_HH

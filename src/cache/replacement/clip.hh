@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CLIP: Code Line Preservation (Jaleel et al., HPCA 2015), the
+ * hardware-only "treat all instruction lines as hot" baseline.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_CLIP_HH
+#define TRRIP_CACHE_REPLACEMENT_CLIP_HH
+
+#include "cache/replacement/rrip.hh"
+#include "cache/replacement/set_dueling.hh"
+
+namespace trrip {
+
+/**
+ * CLIP over SRRIP.  Every instruction line is inserted at Immediate.
+ * Set-dueling chooses between the base variant (data hits promote to
+ * Immediate, as in SRRIP) and a code-favoring variant in which data
+ * hits only step their RRPV down by one, keeping instruction lines in
+ * the high-priority positions longer (paper section 4.3).
+ */
+class ClipPolicy : public RripBase
+{
+  public:
+    ClipPolicy(const CacheGeometry &geom, unsigned rrpv_bits = 2,
+               std::uint32_t leader_sets = 32, unsigned psel_bits = 10) :
+        RripBase(geom, rrpv_bits),
+        dueling_(geom.numSets(), leader_sets, psel_bits)
+    {}
+
+    std::string name() const override { return "CLIP"; }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, SetView lines,
+          const MemRequest &req) override
+    {
+        CacheLine &line = lines[way];
+        if (req.isInst() || dueling_.policyFor(set) == 0) {
+            line.rrpv = immediate();
+        } else {
+            // Variant 1: conservative promotion of data lines.
+            line.rrpv = (line.rrpv > 0) ? line.rrpv - 1 : 0;
+        }
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, SetView lines, const MemRequest &req)
+        override
+    {
+        if (!req.isPrefetch())
+            dueling_.onMiss(set);
+        return RripBase::victim(set, lines, req);
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &req) override
+    {
+        lines[way].rrpv = req.isInst() ? immediate() : intermediate();
+    }
+
+    const SetDueling &dueling() const { return dueling_; }
+
+  private:
+    SetDueling dueling_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_CLIP_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_DRRIP_HH
+#define TRRIP_CACHE_REPLACEMENT_DRRIP_HH
+
+#include "cache/replacement/rrip.hh"
+#include "cache/replacement/set_dueling.hh"
+
+namespace trrip {
+
+/**
+ * DRRIP (Jaleel et al., ISCA 2010).  SRRIP leads constituency 0 and
+ * BRRIP constituency 1; followers insert according to the PSEL winner.
+ * Promotion on hit is Immediate for all constituencies.
+ */
+class DrripPolicy : public RripBase
+{
+  public:
+    DrripPolicy(const CacheGeometry &geom, unsigned rrpv_bits = 2,
+                std::uint32_t leader_sets = 32, unsigned psel_bits = 10,
+                unsigned brrip_throttle = 32) :
+        RripBase(geom, rrpv_bits),
+        dueling_(geom.numSets(), leader_sets, psel_bits),
+        throttle_(brrip_throttle)
+    {}
+
+    std::string name() const override { return "DRRIP"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &) override
+    {
+        lines[way].rrpv = immediate();
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, SetView lines, const MemRequest &req)
+        override
+    {
+        // Demand misses train the duel; prefetch fills do not.
+        if (!req.isPrefetch())
+            dueling_.onMiss(set);
+        return RripBase::victim(set, lines, req);
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way, SetView lines,
+           const MemRequest &) override
+    {
+        if (dueling_.policyFor(set) == 0) {
+            lines[way].rrpv = intermediate();
+        } else {
+            ++brripFills_;
+            lines[way].rrpv = (brripFills_ % throttle_ == 0)
+                                  ? intermediate() : distant();
+        }
+    }
+
+    const SetDueling &dueling() const { return dueling_; }
+
+  private:
+    SetDueling dueling_;
+    unsigned throttle_;
+    std::uint64_t brripFills_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_DRRIP_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * EMISSARY (Nagendra et al., ISCA 2023) reimplemented on our
+ * infrastructure, as the paper does (section 4.3): instruction lines
+ * whose misses caused decode starvation carry a priority hint; the L2
+ * preserves up to P priority ways per set on top of LRU.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_EMISSARY_HH
+#define TRRIP_CACHE_REPLACEMENT_EMISSARY_HH
+
+#include "cache/replacement/policy.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+
+/**
+ * Priority-partitioned LRU.  Lines filled (or re-touched) by requests
+ * with the starvation hint set their priority bit probabilistically
+ * (the original work inserts with probability 1/2 to avoid priority
+ * saturation).  Victim selection evicts the LRU line among
+ * non-priority ways while at most @c priorityWays priority lines
+ * exist; beyond that the whole set competes.
+ */
+class EmissaryPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param priority_ways Maximum preserved ways per set (paper: 4 of
+     *        8).
+     * @param set_probability Probability a starvation hint actually
+     *        sets the priority bit.
+     */
+    explicit EmissaryPolicy(const CacheGeometry &geom,
+                            std::uint32_t priority_ways = 4,
+                            double set_probability = 0.5) :
+        ReplacementPolicy(geom), priorityWays_(priority_ways),
+        setProbability_(set_probability), rng_(0xe1155a47ull)
+    {}
+
+    std::string name() const override { return "Emissary"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &req) override
+    {
+        CacheLine &line = lines[way];
+        line.lruStamp = ++tick_;
+        if (req.priority && req.isInst() && !line.priority)
+            line.priority = rng_.chance(setProbability_);
+    }
+
+    std::uint32_t
+    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    {
+        std::uint32_t prio_count = 0;
+        for (const auto &line : lines)
+            prio_count += line.priority ? 1 : 0;
+
+        const bool protect = prio_count > 0 &&
+                             prio_count <= priorityWays_;
+        std::uint32_t best = lines.size();
+        for (std::uint32_t w = 0; w < lines.size(); ++w) {
+            if (protect && lines[w].priority)
+                continue;
+            if (best == lines.size() ||
+                lines[w].lruStamp < lines[best].lruStamp) {
+                best = w;
+            }
+        }
+        if (best == lines.size()) {
+            // Every way is priority: fall back to global LRU.
+            best = 0;
+            for (std::uint32_t w = 1; w < lines.size(); ++w) {
+                if (lines[w].lruStamp < lines[best].lruStamp)
+                    best = w;
+            }
+        }
+        return best;
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &req) override
+    {
+        CacheLine &line = lines[way];
+        line.lruStamp = ++tick_;
+        line.priority = req.priority && req.isInst() &&
+                        rng_.chance(setProbability_);
+    }
+
+  private:
+    std::uint32_t priorityWays_;
+    double setProbability_;
+    Rng rng_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_EMISSARY_HH

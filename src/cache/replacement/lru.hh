@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Least-recently-used replacement (paper baseline for L1s, SLC, and the
+ * LRU bar of Fig. 6).
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_LRU_HH
+#define TRRIP_CACHE_REPLACEMENT_LRU_HH
+
+#include "cache/replacement/policy.hh"
+
+namespace trrip {
+
+/** Classic LRU via monotonically increasing recency stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit LruPolicy(const CacheGeometry &geom) :
+        ReplacementPolicy(geom)
+    {}
+
+    std::string name() const override { return "LRU"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &) override
+    {
+        lines[way].lruStamp = ++tick_;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    {
+        std::uint32_t best = 0;
+        for (std::uint32_t w = 1; w < lines.size(); ++w) {
+            if (lines[w].lruStamp < lines[best].lruStamp)
+                best = w;
+        }
+        return best;
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &) override
+    {
+        lines[way].lruStamp = ++tick_;
+    }
+
+  private:
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_LRU_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Replacement policy interface.
+ *
+ * The cache calls onHit() for every hit, victim() when a fill finds no
+ * invalid way (the policy must pick a way to evict), onFill() after the
+ * new line is installed, and onEvict() just before a valid line leaves
+ * the cache.  Policies mutate only the policy-state fields of
+ * CacheLine.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_POLICY_HH
+#define TRRIP_CACHE_REPLACEMENT_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cache/geometry.hh"
+#include "cache/line.hh"
+#include "mem/request.hh"
+
+namespace trrip {
+
+/** View of one cache set's ways handed to the policy. */
+using SetView = std::span<CacheLine>;
+
+/** Abstract cache replacement policy. */
+class ReplacementPolicy
+{
+  public:
+    explicit ReplacementPolicy(const CacheGeometry &geom) : geom_(geom) {}
+    virtual ~ReplacementPolicy() = default;
+
+    /** Short policy name, e.g. "SRRIP". */
+    virtual std::string name() const = 0;
+
+    /** A request hit way @p way of set @p set. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way, SetView lines,
+                       const MemRequest &req) = 0;
+
+    /**
+     * Pick the way to evict from a full set.  Only called when every
+     * way is valid.  May mutate policy state (e.g. RRIP aging).
+     */
+    virtual std::uint32_t victim(std::uint32_t set, SetView lines,
+                                 const MemRequest &req) = 0;
+
+    /** A new line was installed in way @p way for @p req. */
+    virtual void onFill(std::uint32_t set, std::uint32_t way, SetView lines,
+                        const MemRequest &req) = 0;
+
+    /** A valid line is about to be evicted (bookkeeping hook). */
+    virtual void
+    onEvict(std::uint32_t set, std::uint32_t way, const CacheLine &line)
+    {
+        (void)set;
+        (void)way;
+        (void)line;
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+  protected:
+    CacheGeometry geom_;
+};
+
+/** Factory signature used by the simulator configuration layer. */
+using PolicyFactory =
+    std::unique_ptr<ReplacementPolicy> (*)(const CacheGeometry &);
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_POLICY_HH

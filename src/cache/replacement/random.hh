@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random replacement; a sanity baseline for tests and ablations.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_RANDOM_HH
+#define TRRIP_CACHE_REPLACEMENT_RANDOM_HH
+
+#include "cache/replacement/policy.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+
+/** Uniformly random victim selection (deterministic seeded stream). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(const CacheGeometry &geom) :
+        ReplacementPolicy(geom), rng_(0xdecafbadull)
+    {}
+
+    std::string name() const override { return "Random"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t, SetView, const MemRequest &)
+        override
+    {}
+
+    std::uint32_t
+    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    {
+        return static_cast<std::uint32_t>(rng_.below(lines.size()));
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t, SetView, const MemRequest &)
+        override
+    {}
+
+  private:
+    Rng rng_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_RANDOM_HH

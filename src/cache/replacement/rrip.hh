@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Re-Reference Interval Prediction (RRIP) replacement family
+ * (Jaleel et al., ISCA 2010): SRRIP and BRRIP, plus the shared base
+ * class that TRRIP, CLIP, SHiP and DRRIP build on.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_RRIP_HH
+#define TRRIP_CACHE_REPLACEMENT_RRIP_HH
+
+#include "cache/replacement/policy.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+
+/**
+ * Common RRIP machinery: an n-bit RRPV per line and the standard
+ * eviction search that ages the set until a distant line appears.
+ *
+ * RRPV semantics with the default 2 bits (paper section 3.4):
+ * Immediate (0) > Near (1) > Intermediate (2) > Distant (3).
+ */
+class RripBase : public ReplacementPolicy
+{
+  public:
+    RripBase(const CacheGeometry &geom, unsigned rrpv_bits = 2) :
+        ReplacementPolicy(geom),
+        maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1))
+    {}
+
+    /** RRPV meaning an immediate re-reference prediction. */
+    std::uint8_t immediate() const { return 0; }
+    /** RRPV meaning a near re-reference prediction. */
+    std::uint8_t near() const { return 1; }
+    /** RRPV meaning an intermediate (long) re-reference prediction. */
+    std::uint8_t intermediate() const { return maxRrpv_ - 1; }
+    /** RRPV meaning a distant re-reference prediction. */
+    std::uint8_t distant() const { return maxRrpv_; }
+
+    /**
+     * The RRIP eviction search shared by every derived policy and left
+     * untouched by TRRIP (Algorithm 1 line 14): scan for RRPV == max,
+     * ageing every line until one is found; ties break toward way 0.
+     */
+    std::uint32_t
+    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    {
+        while (true) {
+            for (std::uint32_t w = 0; w < lines.size(); ++w) {
+                if (lines[w].rrpv >= maxRrpv_)
+                    return w;
+            }
+            for (auto &line : lines) {
+                if (line.rrpv < maxRrpv_)
+                    ++line.rrpv;
+            }
+        }
+    }
+
+  protected:
+    std::uint8_t maxRrpv_;
+};
+
+/**
+ * Static RRIP with hit-priority promotion: insert at Intermediate,
+ * promote to Immediate on hit.  The paper's normalization baseline.
+ */
+class SrripPolicy : public RripBase
+{
+  public:
+    explicit SrripPolicy(const CacheGeometry &geom,
+                         unsigned rrpv_bits = 2) :
+        RripBase(geom, rrpv_bits)
+    {}
+
+    std::string name() const override { return "SRRIP"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &) override
+    {
+        lines[way].rrpv = immediate();
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &) override
+    {
+        lines[way].rrpv = intermediate();
+    }
+};
+
+/**
+ * Bimodal RRIP: insert at Distant with high probability (thrash
+ * resistance), at Intermediate with probability 1/throttle.
+ */
+class BrripPolicy : public RripBase
+{
+  public:
+    explicit BrripPolicy(const CacheGeometry &geom,
+                         unsigned rrpv_bits = 2,
+                         unsigned throttle = 32) :
+        RripBase(geom, rrpv_bits), throttle_(throttle)
+    {}
+
+    std::string name() const override { return "BRRIP"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &) override
+    {
+        lines[way].rrpv = immediate();
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &) override
+    {
+        // Deterministic 1-in-throttle epsilon insertion.
+        ++fills_;
+        lines[way].rrpv = (fills_ % throttle_ == 0) ? intermediate()
+                                                    : distant();
+    }
+
+  private:
+    unsigned throttle_;
+    std::uint64_t fills_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_RRIP_HH

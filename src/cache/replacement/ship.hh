@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011), applied
+ * to instruction lines only, as evaluated in the paper (section 4.3):
+ * a PC-signature SHCT predicts whether a fill will be re-referenced;
+ * never-predicted lines are inserted at Distant to avoid pollution.
+ */
+
+#ifndef TRRIP_CACHE_REPLACEMENT_SHIP_HH
+#define TRRIP_CACHE_REPLACEMENT_SHIP_HH
+
+#include <vector>
+
+#include "cache/replacement/rrip.hh"
+#include "util/sat_counter.hh"
+
+namespace trrip {
+
+/**
+ * SHiP-PC over an SRRIP substrate.  For instruction requests the
+ * fill-time PC signature indexes the SHCT; a zero counter predicts a
+ * dead-on-arrival line (Distant insertion).  Hits set the line outcome
+ * bit and increment the counter; evictions of never-hit lines decrement
+ * it.  Data requests follow plain SRRIP.
+ */
+class ShipPolicy : public RripBase
+{
+  public:
+    /**
+     * @param shct_entries Signature history counter table entries.
+     *        The paper models a 64 kB predictor; with 2-bit counters
+     *        that is 256Ki entries, which we default to.
+     */
+    explicit ShipPolicy(const CacheGeometry &geom,
+                        unsigned rrpv_bits = 2,
+                        std::size_t shct_entries = 256 * 1024) :
+        RripBase(geom, rrpv_bits),
+        shct_(shct_entries, SatCounter(2, 1))
+    {}
+
+    std::string name() const override { return "SHiP"; }
+
+    void
+    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+          const MemRequest &req) override
+    {
+        CacheLine &line = lines[way];
+        line.rrpv = immediate();
+        if (line.isInst && !req.isPrefetch()) {
+            line.outcome = true;
+            shct_[line.signature % shct_.size()].increment();
+        }
+    }
+
+    void
+    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+           const MemRequest &req) override
+    {
+        CacheLine &line = lines[way];
+        if (req.isInst()) {
+            line.signature = signatureOf(req.pc);
+            line.outcome = false;
+            const bool dead =
+                shct_[line.signature % shct_.size()].isZero();
+            line.rrpv = dead ? distant() : intermediate();
+        } else {
+            line.rrpv = intermediate();
+        }
+    }
+
+    void
+    onEvict(std::uint32_t, std::uint32_t, const CacheLine &line) override
+    {
+        if (line.isInst && !line.outcome)
+            shct_[line.signature % shct_.size()].decrement();
+    }
+
+    /** 14-bit folded PC signature. */
+    static std::uint16_t
+    signatureOf(Addr pc)
+    {
+        const std::uint64_t x = pc >> 2;
+        return static_cast<std::uint16_t>(
+            (x ^ (x >> 14) ^ (x >> 28)) & 0x3fff);
+    }
+
+  private:
+    std::vector<SatCounter> shct_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CACHE_REPLACEMENT_SHIP_HH

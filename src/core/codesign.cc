@@ -1,0 +1,2 @@
+// CoDesignPipeline is header-only; this anchors the core library.
+#include "core/codesign.hh"

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The TRRIP co-design pipeline facade: build a workload once, then run
+ * the full compile -> profile -> re-compile -> load -> simulate flow
+ * (paper Fig. 4) for any replacement policy and configuration.  This
+ * is the public API the examples and benchmark harnesses use.
+ */
+
+#ifndef TRRIP_CORE_CODESIGN_HH
+#define TRRIP_CORE_CODESIGN_HH
+
+#include <string>
+
+#include "core/policy_factory.hh"
+#include "sim/simulator.hh"
+#include "workloads/builder.hh"
+
+namespace trrip {
+
+/** One workload, reusable across policies and option variations. */
+class CoDesignPipeline
+{
+  public:
+    /** Build the program for @p params (deterministic in the seed). */
+    explicit CoDesignPipeline(const WorkloadParams &params) :
+        workload_(buildWorkload(params))
+    {}
+
+    const SyntheticWorkload &workload() const { return workload_; }
+
+    /** Run the full pipeline with default options. */
+    RunArtifacts
+    run(const std::string &policy_name) const
+    {
+        return run(policy_name, SimOptions());
+    }
+
+    /** Run the full pipeline with explicit options. */
+    RunArtifacts
+    run(const std::string &policy_name, const SimOptions &options) const
+    {
+        SimOptions opts = options;
+        const InstCount budget = opts.maxInstructions > 0
+                                     ? opts.maxInstructions
+                                     : defaultInstrBudget();
+        const InstCount prof_budget = opts.profileInstructions > 0
+                                          ? opts.profileInstructions
+                                          : budget;
+        if (!opts.precomputedProfile) {
+            // The profile depends only on (workload, budget): cache
+            // it across the policy sweep.
+            if (!cachedProfile_ || cachedBudget_ != prof_budget) {
+                cachedProfile_ = std::make_unique<Profile>(
+                    collectProfile(workload_, prof_budget));
+                cachedBudget_ = prof_budget;
+            }
+            opts.precomputedProfile = cachedProfile_.get();
+        }
+        return runWorkload(workload_, policyMaker(policy_name), opts);
+    }
+
+    /**
+     * Speedup of @p policy_name over @p baseline_name in percent
+     * (reduction in cycles for the same instruction count, as in
+     * paper Fig. 6).
+     */
+    double
+    speedupOver(const std::string &baseline_name,
+                const std::string &policy_name,
+                const SimOptions &options) const
+    {
+        const RunArtifacts base = run(baseline_name, options);
+        const RunArtifacts test = run(policy_name, options);
+        return speedupPercent(base.result, test.result);
+    }
+
+    /** Cycle-reduction speedup of @p test over @p base in percent. */
+    static double
+    speedupPercent(const SimResult &base, const SimResult &test)
+    {
+        if (test.cycles <= 0.0)
+            return 0.0;
+        return (base.cycles / test.cycles - 1.0) * 100.0;
+    }
+
+    /** Percent reduction of @p test relative to @p base (MPKI etc.). */
+    static double
+    reductionPercent(double base, double test)
+    {
+        if (base <= 0.0)
+            return 0.0;
+        return (1.0 - test / base) * 100.0;
+    }
+
+  private:
+    SyntheticWorkload workload_;
+    mutable std::unique_ptr<Profile> cachedProfile_;
+    mutable InstCount cachedBudget_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_CORE_CODESIGN_HH

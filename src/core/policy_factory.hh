@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Replacement policy factory covering every mechanism of the paper's
+ * evaluation (section 4.3): LRU, SRRIP, BRRIP, DRRIP, SHiP, CLIP,
+ * Emissary, TRRIP-1 and TRRIP-2 (plus Random for sanity baselines).
+ */
+
+#ifndef TRRIP_CORE_POLICY_FACTORY_HH
+#define TRRIP_CORE_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement/policy.hh"
+#include "sim/simulator.hh"
+
+namespace trrip {
+
+/** Instantiate a policy by name for @p geom; fatal on unknown name. */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name, const CacheGeometry &geom);
+
+/** An L2PolicyMaker bound to @p name. */
+L2PolicyMaker policyMaker(const std::string &name);
+
+/** The paper's Fig. 6 mechanism list (normalization baseline first). */
+std::vector<std::string> evaluatedPolicyNames();
+
+} // namespace trrip
+
+#endif // TRRIP_CORE_POLICY_FACTORY_HH

@@ -1,0 +1,2 @@
+// Dram is header-only; this translation unit anchors the library.
+#include "mem/dram.hh"

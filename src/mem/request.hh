@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory request descriptor.
+ *
+ * This is TRRIP's software-to-hardware interface: the MMU stamps the
+ * 2-bit page temperature attribute (read from the PTE) onto every
+ * instruction request, and the caches react to it (paper section 3.1,
+ * interface 11).  No temperature is ever stored in the caches.
+ */
+
+#ifndef TRRIP_MEM_REQUEST_HH
+#define TRRIP_MEM_REQUEST_HH
+
+#include "util/types.hh"
+
+namespace trrip {
+
+/** Kind of memory access. */
+enum class AccessType : std::uint8_t {
+    InstFetch,      //!< Demand instruction fetch.
+    InstPrefetch,   //!< FDIP / next-line instruction prefetch.
+    Load,           //!< Demand data load.
+    Store,          //!< Data store.
+    DataPrefetch,   //!< Stride data prefetch.
+};
+
+/** True for instruction-side requests (demand or prefetch). */
+constexpr bool
+isInstAccess(AccessType t)
+{
+    return t == AccessType::InstFetch || t == AccessType::InstPrefetch;
+}
+
+/** True for prefetch requests of either side. */
+constexpr bool
+isPrefetch(AccessType t)
+{
+    return t == AccessType::InstPrefetch || t == AccessType::DataPrefetch;
+}
+
+/**
+ * One memory request as seen by the cache hierarchy.
+ *
+ * @note @c temp is Temperature::None unless the request is an
+ *       instruction access whose page was tagged by the TRRIP loader.
+ *       @c priority is the Emissary "costly line" hint and is only
+ *       consumed by the Emissary baseline policy.
+ */
+struct MemRequest
+{
+    Addr vaddr = 0;         //!< Virtual address.
+    Addr paddr = 0;         //!< Physical address (post MMU).
+    Addr pc = 0;            //!< Program counter of the access.
+    AccessType type = AccessType::Load;
+    Temperature temp = Temperature::None;
+    bool priority = false;  //!< Emissary starvation hint.
+
+    bool isInst() const { return isInstAccess(type); }
+    bool isPrefetch() const { return trrip::isPrefetch(type); }
+    bool isWrite() const { return type == AccessType::Store; }
+};
+
+} // namespace trrip
+
+#endif // TRRIP_MEM_REQUEST_HH

@@ -1,0 +1,72 @@
+#include "power/mcpat_lite.hh"
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+McPatLite::McPatLite(const ChipConfig &config) : config_(config) {}
+
+ComponentBudget
+McPatLite::storageBudget(double kilobytes) const
+{
+    return ComponentBudget{kilobytes * sramMm2PerKb,
+                           kilobytes * sramLeakMwPerKb};
+}
+
+ComponentBudget
+McPatLite::baseline() const
+{
+    const double cache_kb =
+        static_cast<double>(config_.l1iBytes + config_.l1dBytes +
+                            config_.l2Bytes) / 1024.0;
+    const ComponentBudget sram = storageBudget(cache_kb);
+    return ComponentBudget{coreLogicMm2 + sram.areaMm2,
+                           coreLogicLeakMw + sram.staticMw};
+}
+
+PolicyOverhead
+McPatLite::overhead(const std::string &policy_name) const
+{
+    PolicyOverhead out;
+    out.name = policy_name;
+    ComponentBudget extra{};
+
+    const std::uint64_t total_lines =
+        (config_.l1iBytes + config_.l1dBytes + config_.l2Bytes) /
+        config_.lineBytes;
+
+    if (policy_name == "TRRIP-1" || policy_name == "TRRIP-2" ||
+        policy_name == "TRRIP" || policy_name == "CLIP") {
+        // TRRIP reuses pre-existing PTE bits (ARM PBHA) and stores
+        // nothing in the caches; CLIP only redefines insertion RRPVs.
+        out.extraStorageBits = 0;
+    } else if (policy_name == "Emissary") {
+        // Two priority bits per line in L1s and L2, plus the decode
+        // starvation detection datapath.
+        out.extraStorageBits = total_lines * 2;
+        extra = storageBudget(
+            static_cast<double>(out.extraStorageBits) / 8.0 / 1024.0);
+        extra.areaMm2 += emissaryLogicMm2;
+        extra.staticMw += emissaryLogicLeakMw;
+    } else if (policy_name == "SHiP") {
+        // 64 kB signature history counter table at the L2.
+        out.extraStorageBits = 64ull * 1024 * 8;
+        extra = storageBudget(64.0);
+    } else {
+        fatal("no Table 4 overhead model for policy ", policy_name);
+    }
+
+    const ComponentBudget base = baseline();
+    out.areaPct = 100.0 * extra.areaMm2 / base.areaMm2;
+    out.staticPowerPct = 100.0 * extra.staticMw / base.staticMw;
+    return out;
+}
+
+std::vector<PolicyOverhead>
+McPatLite::table4() const
+{
+    return {overhead("TRRIP"), overhead("CLIP"), overhead("Emissary"),
+            overhead("SHiP")};
+}
+
+} // namespace trrip

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * McPAT-lite: an analytical static power / area model for the on-chip
+ * components (core + L1I + L1D + L2 slice) at a 22nm-class node,
+ * reproducing the methodology of paper Table 4.
+ *
+ * The model counts the storage each replacement mechanism adds and
+ * converts bits to area/leakage with per-KB SRAM constants; mechanisms
+ * that also add datapath logic (Emissary's starvation tracking) carry
+ * a documented logic estimate.  Constants are calibrated so a 64 kB
+ * SHiP predictor lands at the paper's ~3% area / ~1.7% static power
+ * scale; what the model computes structurally is the *relative* cost
+ * of each mechanism's metadata, which is the quantity Table 4 reports.
+ */
+
+#ifndef TRRIP_POWER_MCPAT_LITE_HH
+#define TRRIP_POWER_MCPAT_LITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trrip {
+
+/** Area (mm^2) and static power (mW) of one component. */
+struct ComponentBudget
+{
+    double areaMm2 = 0.0;
+    double staticMw = 0.0;
+};
+
+/** Per-mechanism overhead relative to the SRRIP baseline. */
+struct PolicyOverhead
+{
+    std::string name;
+    std::uint64_t extraStorageBits = 0;
+    double areaPct = 0.0;
+    double staticPowerPct = 0.0;
+};
+
+/** On-chip storage configuration used for the baseline budget. */
+struct ChipConfig
+{
+    std::uint64_t l1iBytes = 64 * 1024;
+    std::uint64_t l1dBytes = 64 * 1024;
+    std::uint64_t l2Bytes = 128 * 1024;
+    std::uint32_t lineBytes = 64;
+};
+
+/** The analytical model. */
+class McPatLite
+{
+  public:
+    explicit McPatLite(const ChipConfig &config = ChipConfig());
+
+    /** Core + caches baseline (SRRIP: no metadata beyond RRPVs). */
+    ComponentBudget baseline() const;
+
+    /** Overhead of one evaluated mechanism (paper Table 4 row). */
+    PolicyOverhead overhead(const std::string &policy_name) const;
+
+    /** All Table 4 rows: TRRIP, CLIP, Emissary, SHiP. */
+    std::vector<PolicyOverhead> table4() const;
+
+    /** @name 22nm-class calibration constants */
+    /** @{ */
+    static constexpr double sramMm2PerKb = 0.0015;
+    static constexpr double sramLeakMwPerKb = 0.08;
+    static constexpr double coreLogicMm2 = 2.82;
+    static constexpr double coreLogicLeakMw = 281.0;
+    /** Emissary starvation-detection datapath estimate. */
+    static constexpr double emissaryLogicMm2 = 0.021;
+    static constexpr double emissaryLogicLeakMw = 1.35;
+    /** @} */
+
+  private:
+    ComponentBudget storageBudget(double kilobytes) const;
+
+    ChipConfig config_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_POWER_MCPAT_LITE_HH

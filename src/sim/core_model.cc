@@ -1,0 +1,215 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+namespace trrip {
+
+CoreModel::CoreModel(Executor &executor, CacheHierarchy &hierarchy,
+                     Mmu &mmu, BranchUnit &branch,
+                     const CoreParams &params,
+                     const BackendParams &backend) :
+    executor_(executor), hier_(hierarchy), mmu_(mmu), branch_(branch),
+    params_(params), backend_(backend)
+{
+}
+
+void
+CoreModel::refillWindow()
+{
+    const std::size_t want = params_.fdipLookahead + 1;
+    while (window_.size() < want) {
+        window_.emplace_back();
+        BBEvent &ev = window_.back();
+        executor_.next(ev);
+        // Query-only misprediction estimate for the FDIP path check.
+        ev.fdipMispredict =
+            ev.hasBranch && branch_.wouldMispredict(ev.branch);
+        if (ev.fdipMispredict)
+            ++windowMispredicts_;
+    }
+}
+
+void
+CoreModel::fdipPrefetch()
+{
+    if (!params_.fdipEnabled || window_.size() < 2)
+        return;
+    // FDIP runs ahead only while the predicted path is clean: any
+    // likely-mispredicted branch in the window stops the run-ahead
+    // (the paper's trace-based setup has no wrong-path prefetching).
+    if (windowMispredicts_ > 0)
+        return;
+    const BBEvent &tail = window_.back();
+    const std::uint32_t line_bytes = hier_.params().l2.lineBytes;
+    const Addr first = tail.vaddr & ~static_cast<Addr>(line_bytes - 1);
+    const Addr last = (tail.vaddr + tail.bytes - 1) &
+                      ~static_cast<Addr>(line_bytes - 1);
+    for (Addr line = first; line <= last; line += line_bytes) {
+        const MmuResult tr = mmu_.translate(line);
+        MemRequest req;
+        req.vaddr = line;
+        req.paddr = tr.paddr;
+        req.pc = line;
+        req.type = AccessType::InstPrefetch;
+        req.temp = tr.temp;
+        hier_.instPrefetch(req, static_cast<Cycles>(now_));
+    }
+}
+
+void
+CoreModel::processEvent(const BBEvent &ev)
+{
+    // --- Instruction fetch, one access per newly touched line.
+    const std::uint32_t line_bytes = hier_.params().l2.lineBytes;
+    const Addr first = ev.vaddr & ~static_cast<Addr>(line_bytes - 1);
+    const Addr last = (ev.vaddr + ev.bytes - 1) &
+                      ~static_cast<Addr>(line_bytes - 1);
+    Temperature fetch_temp = Temperature::None;
+    for (Addr line = first; line <= last; line += line_bytes) {
+        if (line == lastFetchLine_)
+            continue;
+        lastFetchLine_ = line;
+        const MmuResult tr = mmu_.translate(line);
+        if (tr.tlbMiss) {
+            td_.other += static_cast<double>(params_.tlbWalkPenalty);
+            now_ += static_cast<double>(params_.tlbWalkPenalty);
+        }
+        MemRequest req;
+        req.vaddr = line;
+        req.paddr = tr.paddr;
+        req.pc = line;
+        req.type = AccessType::InstFetch;
+        req.temp = tr.temp;
+        fetch_temp = tr.temp;
+        const AccessOutcome out =
+            hier_.instFetch(req, static_cast<Cycles>(now_));
+        const double exposed =
+            out.latency > params_.fetchQueueSlack
+                ? static_cast<double>(out.latency -
+                                      params_.fetchQueueSlack)
+                : 0.0;
+        td_.ifetch += exposed;
+        now_ += exposed;
+        if (out.l2DemandMiss) {
+            const bool burst = now_ - lastInstL2Miss_ <=
+                               params_.starvationBurstWindow;
+            lastInstL2Miss_ = now_;
+            // Every exposed miss is recorded for the costly-miss
+            // analysis (Fig. 7); only clustered misses starve decode
+            // hard enough to set Emissary's priority bit.
+            if (out.latency >= params_.starvationThreshold &&
+                costlyTracker_) {
+                costlyTracker_->record(line, exposed);
+            }
+            if (burst && out.latency >= params_.starvationThreshold &&
+                (starvationEvents_++ & 1) == 0) {
+                hier_.markL2Priority(req.paddr);
+            }
+        }
+    }
+
+    // --- Branch resolution.
+    if (ev.hasBranch) {
+        BranchInfo info = ev.branch;
+        info.temp = fetch_temp; // PTE hint for the TRRIP-BTB option.
+        const BranchOutcome out = branch_.predictAndUpdate(info);
+        if (out.mispredicted) {
+            const auto penalty =
+                static_cast<double>(params_.mispredictPenalty);
+            td_.mispred += penalty;
+            now_ += penalty;
+        } else if (out.btbMiss && ev.branch.taken) {
+            const auto penalty =
+                static_cast<double>(params_.btbRedirectPenalty);
+            td_.mispred += penalty;
+            now_ += penalty;
+        }
+    }
+
+    // --- Retire plus synthetic backend components.
+    const double instrs = static_cast<double>(ev.instrs);
+    const double retire = instrs / params_.dispatchWidth;
+    td_.retire += retire;
+    td_.depend += instrs * backend_.dependStallPerInstr;
+    td_.issue += instrs * backend_.issueStallPerInstr;
+    td_.other += instrs * backend_.otherStallPerInstr;
+    now_ += retire + instrs * (backend_.dependStallPerInstr +
+                               backend_.issueStallPerInstr +
+                               backend_.otherStallPerInstr);
+
+    // --- Data accesses with MLP-aware exposure.
+    for (std::uint8_t i = 0; i < ev.numData; ++i) {
+        const DataAccessEvent &d = ev.data[i];
+        const MmuResult tr = mmu_.translate(d.vaddr);
+        if (tr.tlbMiss) {
+            td_.other += static_cast<double>(params_.tlbWalkPenalty);
+            now_ += static_cast<double>(params_.tlbWalkPenalty);
+        }
+        MemRequest req;
+        req.vaddr = d.vaddr;
+        req.paddr = tr.paddr;
+        req.pc = d.pc;
+        req.type = d.isStore ? AccessType::Store : AccessType::Load;
+        const AccessOutcome out =
+            hier_.dataAccess(req, static_cast<Cycles>(now_));
+        if (out.latency == 0)
+            continue;
+        const double raw = static_cast<double>(out.latency);
+        if (d.isStore) {
+            const double exposed = raw * params_.storeExposedFraction;
+            td_.mem += exposed;
+            now_ += exposed;
+        } else if (d.dependent) {
+            // Pointer chase: the next access needs this value; the
+            // OOO window hides almost none of the latency.
+            const double exposed =
+                raw * params_.dependentExposedFraction;
+            missShadowEnd_ = now_ + raw;
+            td_.mem += exposed;
+            now_ += exposed;
+        } else {
+            double exposed = raw * params_.loadExposedFraction;
+            if (now_ < missShadowEnd_)
+                exposed /= params_.overlapMlp;
+            missShadowEnd_ = now_ + raw;
+            td_.mem += exposed;
+            now_ += exposed;
+        }
+    }
+
+    instructions_ += ev.instrs;
+}
+
+SimResult
+CoreModel::run(InstCount max_instructions)
+{
+    refillWindow();
+    while (instructions_ < max_instructions) {
+        fdipPrefetch();
+        const BBEvent &ev = window_.front();
+        if (ev.fdipMispredict)
+            --windowMispredicts_;
+        processEvent(ev);
+        window_.pop_front();
+        refillWindow();
+    }
+
+    SimResult res;
+    res.instructions = instructions_;
+    res.cycles = now_;
+    res.topdown = td_;
+    res.l2InstMpki = hier_.l2InstMpki(instructions_);
+    res.l2DataMpki = hier_.l2DataMpki(instructions_);
+    res.l1i = hier_.l1i().stats();
+    res.l1d = hier_.l1d().stats();
+    res.l2 = hier_.l2().stats();
+    res.slc = hier_.slc().stats();
+    res.prefetch = hier_.prefetchStats();
+    res.branch = branch_.stats();
+    res.tlb = mmu_.stats();
+    res.l2HotEvictions = res.l2.evictionsByTemp[encodeTemperature(
+        Temperature::Hot)];
+    return res;
+}
+
+} // namespace trrip

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Interval-style out-of-order core model (the Sniper substitute; see
+ * DESIGN.md).  The model consumes basic-block events, drives the MMU,
+ * branch unit and cache hierarchy, performs the pseudo-FDIP lookahead
+ * of paper section 4.1, and accounts cycles into Top-Down buckets.
+ *
+ * Timing approximations (all parameters below):
+ *  - retire cost is instrs / dispatch width;
+ *  - instruction fetch stalls expose hierarchy latency beyond a small
+ *    fetch-queue slack; FDIP prefetches issued `lookahead` blocks
+ *    ahead hide latency when the intervening branches are predictable;
+ *  - load miss latency is partially hidden by the OOO window
+ *    (loadExposedFraction) and overlapping misses share the window
+ *    (overlapMlp); stores retire through the store buffer;
+ *  - branch mispredicts cost a fixed penalty, BTB misses on taken
+ *    branches a smaller redirect bubble.
+ */
+
+#ifndef TRRIP_SIM_CORE_MODEL_HH
+#define TRRIP_SIM_CORE_MODEL_HH
+
+#include <deque>
+#include <unordered_set>
+
+#include "analysis/costly_miss.hh"
+#include "branch/predictors.hh"
+#include "cache/hierarchy.hh"
+#include "sim/topdown.hh"
+#include "sw/mmu.hh"
+#include "workloads/executor.hh"
+
+namespace trrip {
+
+/** Core model parameters (defaults = paper Table 1). */
+struct CoreParams
+{
+    unsigned dispatchWidth = 6;
+    unsigned robEntries = 128;
+    Cycles mispredictPenalty = 8;
+    Cycles btbRedirectPenalty = 3;
+
+    bool fdipEnabled = true;
+    unsigned fdipLookahead = 8;     //!< Blocks of run-ahead.
+
+    Cycles fetchQueueSlack = 4;     //!< Fetch latency hidden for free.
+    double loadExposedFraction = 0.3;
+    double dependentExposedFraction = 0.55;
+    double overlapMlp = 3.0;
+    double storeExposedFraction = 0.04;
+    Cycles tlbWalkPenalty = 3;
+
+    /** Exposed stall that can mark a miss costly. */
+    Cycles starvationThreshold = 28;
+    /**
+     * Decode starvation requires clustered misses: a second L2
+     * instruction miss within this window of the previous one (a
+     * lone miss drains the fetch/decode queues without starving).
+     */
+    double starvationBurstWindow = 150.0;
+};
+
+/** Synthetic backend stall components, copied from the workload. */
+struct BackendParams
+{
+    double dependStallPerInstr = 0.0;
+    double issueStallPerInstr = 0.0;
+    double otherStallPerInstr = 0.0;
+};
+
+/** Everything a simulation run produces. */
+struct SimResult
+{
+    InstCount instructions = 0;
+    double cycles = 0.0;
+    TopDown topdown;
+
+    double l2InstMpki = 0.0;
+    double l2DataMpki = 0.0;
+    CacheStats l1i, l1d, l2, slc;
+    PrefetchStats prefetch;
+    BranchStats branch;
+    TlbStats tlb;
+    std::uint64_t l2HotEvictions = 0;
+
+    double ipc() const
+    { return cycles > 0.0 ? static_cast<double>(instructions) / cycles
+                          : 0.0; }
+    double cpi() const
+    { return instructions > 0 ? cycles /
+          static_cast<double>(instructions) : 0.0; }
+};
+
+/** The interval core. */
+class CoreModel
+{
+  public:
+    CoreModel(Executor &executor, CacheHierarchy &hierarchy, Mmu &mmu,
+              BranchUnit &branch, const CoreParams &params,
+              const BackendParams &backend);
+
+    /** Optional costly-miss recorder (paper Fig. 7). */
+    void setCostlyTracker(CostlyMissTracker *tracker)
+    { costlyTracker_ = tracker; }
+
+    /** Run for @p max_instructions and return the aggregated result. */
+    SimResult run(InstCount max_instructions);
+
+  private:
+    void refillWindow();
+    void fdipPrefetch();
+    void processEvent(const BBEvent &ev);
+
+    Executor &executor_;
+    CacheHierarchy &hier_;
+    Mmu &mmu_;
+    BranchUnit &branch_;
+    CoreParams params_;
+    BackendParams backend_;
+
+    std::deque<BBEvent> window_;
+    unsigned windowMispredicts_ = 0;
+
+    double now_ = 0.0;
+    InstCount instructions_ = 0;
+    TopDown td_;
+    Addr lastFetchLine_ = ~0ull;
+    double missShadowEnd_ = 0.0;
+
+    /** Alternator implementing Emissary's 1/2 marking probability. */
+    std::uint64_t starvationEvents_ = 0;
+    double lastInstL2Miss_ = -1e18;
+    CostlyMissTracker *costlyTracker_ = nullptr;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SIM_CORE_MODEL_HH

@@ -1,0 +1,112 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+InstCount
+defaultInstrBudget()
+{
+    if (const char *env = std::getenv("TRRIP_INSTR_MILLIONS")) {
+        const double millions = std::atof(env);
+        if (millions > 0.0)
+            return static_cast<InstCount>(millions * 1e6);
+    }
+    return 6'000'000;
+}
+
+Profile
+collectProfile(const SyntheticWorkload &workload,
+               InstCount instructions)
+{
+    // Instrumented binaries are the pre-PGO layout (Fig. 4, ELF1).
+    LayoutOptions layout_opts;
+    const ElfImage image =
+        layoutProgram(workload.program, nullptr, nullptr, layout_opts);
+
+    ExecOptions exec_opts;
+    exec_opts.seed = workload.params.trainSeed;
+    exec_opts.handlerZipfSkew = workload.params.trainZipfSkew;
+    Executor exec(workload, image, exec_opts);
+
+    Profile profile(workload.program.numBlocks());
+    BBEvent ev;
+    InstCount done = 0;
+    while (done < instructions) {
+        exec.next(ev);
+        profile.record(ev.bb);
+        done += ev.instrs;
+    }
+    return profile;
+}
+
+RunArtifacts
+runWorkload(const SyntheticWorkload &workload,
+            const L2PolicyMaker &make_policy, const SimOptions &options)
+{
+    panic_if(!make_policy, "runWorkload needs a policy maker");
+    RunArtifacts art;
+
+    const InstCount budget = options.maxInstructions > 0
+                                 ? options.maxInstructions
+                                 : defaultInstrBudget();
+    // PGO profiles need comparable coverage to the evaluation run or
+    // the tail of the count distribution degenerates (every executed
+    // block looks equally rare); default to the evaluation budget.
+    const InstCount profile_budget =
+        options.profileInstructions > 0 ? options.profileInstructions
+                                        : budget;
+
+    // (2)-(3) Instrumented run producing the profile.
+    if (options.precomputedProfile)
+        art.profile = *options.precomputedProfile;
+    else
+        art.profile = collectProfile(workload, profile_budget);
+
+    // (4)-(5) Re-optimization: classify temperature, lay out ELF2.
+    LayoutOptions layout_opts = options.layout;
+    layout_opts.pageSize = options.pageSize;
+    layout_opts.extraColdTextBytes = workload.params.extraColdTextBytes;
+    layout_opts.extraBinaryBytes = workload.params.extraBinaryBytes;
+    if (options.pgo) {
+        art.classification = classifyTemperature(
+            workload.program, art.profile, options.classifier);
+        art.image = layoutProgram(workload.program,
+                                  &art.classification, &art.profile,
+                                  layout_opts);
+    } else {
+        art.image = layoutProgram(workload.program, nullptr, nullptr,
+                                  layout_opts);
+    }
+
+    // (6)-(8) Loader populates PTE temperature attribute bits.
+    PageTable pt(options.pageSize);
+    art.loadStats = loadImage(art.image, pt, options.pagePolicy);
+
+    // (9)-(11) Execute: MMU stamps temperatures onto fetch requests.
+    Mmu mmu(pt);
+    BranchUnit branch(options.branch);
+    CacheHierarchy hier(options.hier,
+                        make_policy(options.hier.l2));
+    if (options.reuse)
+        hier.setL2Observer(options.reuse);
+
+    ExecOptions exec_opts;
+    exec_opts.seed = workload.params.seed;
+    exec_opts.handlerZipfSkew = workload.params.zipfSkew;
+    Executor exec(workload, art.image, exec_opts);
+
+    BackendParams backend;
+    backend.dependStallPerInstr = workload.params.dependStallPerInstr;
+    backend.issueStallPerInstr = workload.params.issueStallPerInstr;
+    backend.otherStallPerInstr = workload.params.otherStallPerInstr;
+
+    CoreModel core(exec, hier, mmu, branch, options.core, backend);
+    core.setCostlyTracker(options.costly);
+    art.result = core.run(budget);
+    return art;
+}
+
+} // namespace trrip

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * End-to-end simulation assembly: profile collection, temperature
+ * classification, layout, loading, and the timed run -- the numbered
+ * flow of paper Fig. 4.
+ */
+
+#ifndef TRRIP_SIM_SIMULATOR_HH
+#define TRRIP_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+
+#include "analysis/costly_miss.hh"
+#include "analysis/reuse_distance.hh"
+#include "branch/predictors.hh"
+#include "cache/hierarchy.hh"
+#include "sim/core_model.hh"
+#include "sw/layout.hh"
+#include "sw/loader.hh"
+#include "workloads/executor.hh"
+
+namespace trrip {
+
+/** Creates the L2 replacement policy for a given geometry. */
+using L2PolicyMaker = std::function<
+    std::unique_ptr<ReplacementPolicy>(const CacheGeometry &)>;
+
+/** Options for one simulation run. */
+struct SimOptions
+{
+    /** Instructions to simulate; 0 = defaultInstrBudget(). */
+    InstCount maxInstructions = 0;
+    /** Instrumented training-run length; 0 = budget / 4. */
+    InstCount profileInstructions = 0;
+
+    HierarchyParams hier;
+    CoreParams core;
+    BranchParams branch;
+
+    bool pgo = true;                 //!< Use the PGO layout + sections.
+    ClassifierOptions classifier;
+    LayoutOptions layout;
+    MixedPagePolicy pagePolicy = MixedPagePolicy::DisableMark;
+    std::uint32_t pageSize = 4096;
+
+    /** Optional caller-owned instrumentation hooks. */
+    ReuseDistanceProfiler *reuse = nullptr;
+    CostlyMissTracker *costly = nullptr;
+
+    /**
+     * Optional precomputed training profile (the profile depends only
+     * on the workload and profile budget, so pipelines cache it
+     * across policy runs).
+     */
+    const Profile *precomputedProfile = nullptr;
+};
+
+/** Everything one run produces, including the software artifacts. */
+struct RunArtifacts
+{
+    Profile profile;
+    Classification classification;
+    ElfImage image;
+    LoadStats loadStats;
+    SimResult result;
+};
+
+/**
+ * Default per-run instruction budget: TRRIP_INSTR_MILLIONS million
+ * instructions from the environment, else 6 million (the paper runs
+ * 400M per benchmark on a cluster; this is the laptop-scale default).
+ */
+InstCount defaultInstrBudget();
+
+/**
+ * Run the instrumentation (training) execution and collect the PGO
+ * profile (paper Fig. 4, steps 2-3).  Uses the non-PGO layout, the
+ * training seed and the training Zipf skew.
+ */
+Profile collectProfile(const SyntheticWorkload &workload,
+                       InstCount instructions);
+
+/** Run the whole pipeline for one workload and one L2 policy. */
+RunArtifacts runWorkload(const SyntheticWorkload &workload,
+                         const L2PolicyMaker &make_policy,
+                         const SimOptions &options);
+
+} // namespace trrip
+
+#endif // TRRIP_SIM_SIMULATOR_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Top-Down cycle accounting buckets (Yasin, ISPASS 2014), in the
+ * breakdown the paper uses for Figs. 1 and 2: retire, ifetch,
+ * mispred., depend, issue, mem, other.
+ */
+
+#ifndef TRRIP_SIM_TOPDOWN_HH
+#define TRRIP_SIM_TOPDOWN_HH
+
+namespace trrip {
+
+/** Accumulated cycles per Top-Down bucket. */
+struct TopDown
+{
+    double retire = 0.0;   //!< Useful work.
+    double ifetch = 0.0;   //!< Instruction cache miss stalls.
+    double mispred = 0.0;  //!< Branch misprediction penalties.
+    double depend = 0.0;   //!< Data dependency stalls.
+    double issue = 0.0;    //!< Saturated issue queues.
+    double mem = 0.0;      //!< Backend data access stalls.
+    double other = 0.0;    //!< Everything else (TLB walks, misc).
+
+    double
+    total() const
+    {
+        return retire + ifetch + mispred + depend + issue + mem + other;
+    }
+
+    /** Fraction of total cycles in one bucket; 0 when empty. */
+    double
+    fraction(double bucket) const
+    {
+        const double t = total();
+        return t > 0.0 ? bucket / t : 0.0;
+    }
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SIM_TOPDOWN_HH

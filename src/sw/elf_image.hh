@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Modeled ELF executable image: temperature-tagged text sections and a
+ * symbol table mapping basic blocks to virtual addresses (paper
+ * Fig. 5).  The program headers the TRRIP compiler extends are modeled
+ * by the per-section Temperature, which the loader consumes.
+ */
+
+#ifndef TRRIP_SW_ELF_IMAGE_HH
+#define TRRIP_SW_ELF_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace trrip {
+
+/** One loadable text section with its temperature attribute. */
+struct ElfSection
+{
+    std::string name;
+    Addr vaddr = 0;
+    std::uint64_t size = 0;
+    Temperature temp = Temperature::None;
+    bool external = false;  //!< Shared-library region (not this ELF).
+
+    Addr end() const { return vaddr + size; }
+    bool contains(Addr a) const { return a >= vaddr && a < end(); }
+};
+
+/** The laid-out image (main binary + external library region). */
+struct ElfImage
+{
+    std::vector<ElfSection> sections;
+    std::vector<Addr> blockAddr;    //!< Block id -> vaddr.
+    std::vector<Addr> funcEntry;    //!< Function id -> entry vaddr.
+
+    Addr imageBase = 0;
+    Addr imageEnd = 0;              //!< End of the main binary's text.
+    Addr externalBase = 0;
+    Addr externalEnd = 0;
+    bool pgo = false;
+
+    /** Total file size of the main binary (text + other segments). */
+    std::uint64_t binaryBytes = 0;
+
+    /** Section containing @p a, or nullptr. */
+    const ElfSection *
+    sectionAt(Addr a) const
+    {
+        for (const auto &s : sections) {
+            if (s.contains(a))
+                return &s;
+        }
+        return nullptr;
+    }
+
+    /** Temperature of the section containing @p a (None if absent). */
+    Temperature
+    sectionTempAt(Addr a) const
+    {
+        const ElfSection *s = sectionAt(a);
+        return s ? s->temp : Temperature::None;
+    }
+
+    /** True when @p a belongs to the external (shared-lib) region. */
+    bool
+    isExternal(Addr a) const
+    {
+        return a >= externalBase && a < externalEnd;
+    }
+
+    /** Total bytes across sections of the given temperature. */
+    std::uint64_t
+    textBytes(Temperature t) const
+    {
+        std::uint64_t bytes = 0;
+        for (const auto &s : sections) {
+            if (!s.external && s.temp == t)
+                bytes += s.size;
+        }
+        return bytes;
+    }
+
+    /** Total main-binary text bytes. */
+    std::uint64_t
+    textBytes() const
+    {
+        std::uint64_t bytes = 0;
+        for (const auto &s : sections) {
+            if (!s.external)
+                bytes += s.size;
+        }
+        return bytes;
+    }
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SW_ELF_IMAGE_HH

@@ -1,0 +1,145 @@
+#include "sw/layout.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+namespace {
+
+Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~static_cast<Addr>(align - 1);
+}
+
+/** Place one function at @p cursor; advance the cursor. */
+void
+placeFunction(const Program &program, const Function &fn, bool pgo,
+              std::uint32_t function_align, Addr &cursor,
+              ElfImage &image)
+{
+    cursor = alignUp(cursor, function_align);
+    image.funcEntry[fn.id] = cursor;
+
+    const auto place = [&](std::uint32_t bb) {
+        image.blockAddr[bb] = cursor;
+        cursor += program.block(bb).bytes();
+    };
+
+    if (pgo) {
+        // Fall-through chain first, rare blocks after.
+        for (std::uint32_t bb : fn.body)
+            place(bb);
+        for (std::int32_t rare : fn.rareAfter) {
+            if (rare >= 0)
+                place(static_cast<std::uint32_t>(rare));
+        }
+    } else {
+        // Rare blocks interleaved where the source put them.
+        for (std::size_t i = 0; i < fn.body.size(); ++i) {
+            place(fn.body[i]);
+            if (fn.rareAfter[i] >= 0)
+                place(static_cast<std::uint32_t>(fn.rareAfter[i]));
+        }
+    }
+}
+
+} // namespace
+
+ElfImage
+layoutProgram(const Program &program,
+              const Classification *classification,
+              const Profile *profile, const LayoutOptions &options)
+{
+    const bool pgo = classification != nullptr;
+    panic_if(pgo && profile == nullptr,
+             "PGO layout requires the profile for function ordering");
+
+    ElfImage image;
+    image.pgo = pgo;
+    image.imageBase = options.imageBase;
+    image.blockAddr.assign(program.numBlocks(), 0);
+    image.funcEntry.assign(program.numFunctions(), 0);
+
+    std::vector<std::uint32_t> internal;
+    std::vector<std::uint32_t> external;
+    for (const Function &fn : program.functions()) {
+        (fn.kind == FuncKind::External ? external : internal)
+            .push_back(fn.id);
+    }
+
+    Addr cursor = options.imageBase;
+    if (!pgo) {
+        // Single .text in source order.
+        const Addr start = cursor;
+        for (std::uint32_t f : internal)
+            placeFunction(program, program.function(f), false,
+                          options.functionAlign, cursor, image);
+        cursor += options.extraColdTextBytes;
+        image.sections.push_back(ElfSection{
+            ".text", start, cursor - start, Temperature::None, false});
+    } else {
+        // Partition by classified temperature; order hot functions by
+        // descending hotness, keep warm/cold in source order.
+        std::vector<std::uint32_t> by_temp[3];
+        for (std::uint32_t f : internal) {
+            switch (classification->funcTemp[f]) {
+              case Temperature::Hot:
+                by_temp[0].push_back(f);
+                break;
+              case Temperature::Warm:
+                by_temp[1].push_back(f);
+                break;
+              default:
+                by_temp[2].push_back(f);
+                break;
+            }
+        }
+        std::stable_sort(by_temp[0].begin(), by_temp[0].end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return classification->funcCount[a] >
+                                    classification->funcCount[b];
+                         });
+
+        const char *names[3] = {".text.hot", ".text.warm",
+                                ".text.cold"};
+        const Temperature temps[3] = {Temperature::Hot,
+                                      Temperature::Warm,
+                                      Temperature::Cold};
+        for (int s = 0; s < 3; ++s) {
+            if (options.padSectionsToPage)
+                cursor = alignUp(cursor, options.pageSize);
+            const Addr start = cursor;
+            for (std::uint32_t f : by_temp[s])
+                placeFunction(program, program.function(f), true,
+                              options.functionAlign, cursor, image);
+            if (s == 2)
+                cursor += options.extraColdTextBytes;
+            image.sections.push_back(ElfSection{
+                names[s], start, cursor - start, temps[s], false});
+        }
+    }
+    image.imageEnd = cursor;
+
+    // External library region: always a non-PGO style layout with no
+    // temperature attribute.
+    Addr ext_cursor = options.externalBase;
+    const Addr ext_start = ext_cursor;
+    for (std::uint32_t f : external)
+        placeFunction(program, program.function(f), false,
+                      options.functionAlign, ext_cursor, image);
+    image.externalBase = ext_start;
+    image.externalEnd = ext_cursor;
+    if (ext_cursor > ext_start) {
+        image.sections.push_back(ElfSection{
+            ".text.ext", ext_start, ext_cursor - ext_start,
+            Temperature::None, true});
+    }
+
+    image.binaryBytes = image.textBytes() + options.extraBinaryBytes;
+    return image;
+}
+
+} // namespace trrip

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Code layout engine -- the linker half of the synthetic compiler.
+ *
+ * Non-PGO layout: functions in source order, each function's rare
+ * (unlikely-path) blocks inline between its body blocks -- the branchy,
+ * sparse layout of unoptimized binaries.
+ *
+ * PGO layout (paper sections 3.2, Fig. 5): within each function the
+ * executed chain is packed first (fall-throughs) and rare blocks sink
+ * to the end; functions are partitioned by classified temperature into
+ * .text.hot / .text.warm / .text.cold, hot functions sorted by
+ * descending profile count.
+ *
+ * External (shared-library / PLT) functions are laid out in a separate
+ * address region in both modes and never carry temperature.
+ */
+
+#ifndef TRRIP_SW_LAYOUT_HH
+#define TRRIP_SW_LAYOUT_HH
+
+#include "sw/elf_image.hh"
+#include "sw/profile.hh"
+#include "sw/program.hh"
+#include "sw/temperature_classifier.hh"
+
+namespace trrip {
+
+/** Layout / link options. */
+struct LayoutOptions
+{
+    Addr imageBase = 0x400000;
+    Addr externalBase = 0x7000000000ull;
+    std::uint32_t functionAlign = 16;
+    /**
+     * Pad temperature sections to page boundaries so no page mixes
+     * temperatures -- prevention mechanism (1) of paper section 4.9.
+     */
+    bool padSectionsToPage = false;
+    std::uint32_t pageSize = 4096;
+    /** Non-text binary content counted into the file size. */
+    std::uint64_t extraBinaryBytes = 0;
+    /**
+     * Additional never-executed cold text (template bloat, error
+     * paths) appended to .text.cold -- models large binaries like the
+     * paper's clang (168 MB) without materializing millions of blocks.
+     */
+    std::uint64_t extraColdTextBytes = 0;
+};
+
+/**
+ * Lay out @p program.  Passing a null @p classification produces the
+ * non-PGO image; otherwise the PGO image (which also needs the
+ * @p profile for hot-function ordering).
+ */
+ElfImage layoutProgram(const Program &program,
+                       const Classification *classification,
+                       const Profile *profile,
+                       const LayoutOptions &options);
+
+} // namespace trrip
+
+#endif // TRRIP_SW_LAYOUT_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Page table with implementation-defined PTE attribute bits.
+ *
+ * TRRIP reuses two implementation-defined PTE bits (ARM PBHA / x86 AVL
+ * style, paper section 3.3) to carry the code temperature of a page;
+ * the MMU forwards them with instruction memory requests.  Translation
+ * itself is identity (vaddr == paddr) -- the interesting state is the
+ * attribute plumbing.
+ */
+
+#ifndef TRRIP_SW_PAGE_TABLE_HH
+#define TRRIP_SW_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace trrip {
+
+/** One page table entry. */
+struct Pte
+{
+    Addr ppn = 0;               //!< Physical page number.
+    std::uint8_t attrs = 0;     //!< 2-bit PBHA-style temperature.
+
+    Temperature temp() const { return decodeTemperature(attrs); }
+};
+
+/** Result of a translation. */
+struct PageTranslation
+{
+    Addr paddr = 0;
+    Temperature temp = Temperature::None;
+};
+
+/**
+ * A flat single-level page table with lazy (mmap-on-touch) mapping.
+ * Pages not pre-mapped by the loader appear on first touch with no
+ * temperature attribute, modeling anonymous/data mappings.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(std::uint32_t page_size = 4096) :
+        pageSize_(page_size)
+    {
+        fatal_if(page_size == 0 || (page_size & (page_size - 1)) != 0,
+                 "page size must be a power of two");
+    }
+
+    std::uint32_t pageSize() const { return pageSize_; }
+
+    /** Map the page holding @p vaddr with temperature @p temp. */
+    void
+    map(Addr vaddr, Temperature temp)
+    {
+        const Addr vpn = vaddr / pageSize_;
+        Pte &pte = table_[vpn];
+        pte.ppn = vpn; // Identity mapping.
+        pte.attrs = encodeTemperature(temp);
+    }
+
+    /** Translate @p vaddr, lazily allocating an untagged page. */
+    PageTranslation
+    translate(Addr vaddr)
+    {
+        const Addr vpn = vaddr / pageSize_;
+        auto [it, inserted] = table_.try_emplace(vpn);
+        if (inserted) {
+            it->second.ppn = vpn;
+            ++lazyMapped_;
+        }
+        return PageTranslation{
+            it->second.ppn * pageSize_ + vaddr % pageSize_,
+            it->second.temp()};
+    }
+
+    /** PTE lookup without allocation; nullptr if unmapped. */
+    const Pte *
+    lookup(Addr vaddr) const
+    {
+        const auto it = table_.find(vaddr / pageSize_);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t mappedPages() const { return table_.size(); }
+    std::uint64_t lazyMappedPages() const { return lazyMapped_; }
+
+  private:
+    std::uint32_t pageSize_;
+    std::unordered_map<Addr, Pte> table_;
+    std::uint64_t lazyMapped_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SW_PAGE_TABLE_HH

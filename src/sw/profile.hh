@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Instrumentation PGO profile: one execution counter per basic block,
+ * as produced by LLVM IR instrumentation (paper section 3.2).
+ */
+
+#ifndef TRRIP_SW_PROFILE_HH
+#define TRRIP_SW_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace trrip {
+
+/** Basic-block execution counts from an instrumented training run. */
+class Profile
+{
+  public:
+    explicit Profile(std::size_t num_blocks = 0) : counts_(num_blocks, 0)
+    {}
+
+    /** Record one execution of block @p bb. */
+    void
+    record(std::uint32_t bb)
+    {
+        if (bb >= counts_.size())
+            counts_.resize(bb + 1, 0);
+        ++counts_[bb];
+    }
+
+    /** Execution count of block @p bb. */
+    std::uint64_t
+    count(std::uint32_t bb) const
+    {
+        return bb < counts_.size() ? counts_[bb] : 0;
+    }
+
+    /** Sum of all counters (C_total in the paper's Eq. 1). */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : counts_)
+            sum += c;
+        return sum;
+    }
+
+    /**
+     * Merge another profile in (shared libraries accumulate profiles
+     * across the applications that exercise them, paper section 3.2).
+     */
+    void
+    merge(const Profile &other)
+    {
+        if (other.counts_.size() > counts_.size())
+            counts_.resize(other.counts_.size(), 0);
+        for (std::size_t i = 0; i < other.counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+    }
+
+    std::size_t size() const { return counts_.size(); }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SW_PROFILE_HH

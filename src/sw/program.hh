@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Program intermediate representation for the synthetic compiler.
+ *
+ * A Program is a set of functions; each function is an executable
+ * chain of basic blocks ("body") plus unlikely-path blocks ("rare")
+ * attached after individual body blocks.  The layout engine
+ * (sw/layout.hh) decides where blocks land in the address space:
+ * without PGO the rare blocks sit inline between body blocks (poor
+ * spatial locality, taken branches over them); with PGO the executed
+ * chain is packed first and rare blocks sink to the end of the
+ * function (fall-throughs, dense lines) -- the classic PGO layout
+ * effect the paper's section 2.3 measures.
+ */
+
+#ifndef TRRIP_SW_PROGRAM_HH
+#define TRRIP_SW_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace trrip {
+
+/** Structural role of a function in the synthetic workload. */
+enum class FuncKind : std::uint8_t {
+    Dispatcher, //!< Top-level loop selecting handlers (interpreter/UI).
+    Handler,    //!< Frequently invoked worker; the hot-code candidates.
+    Helper,     //!< Callees of handlers; the warm-code candidates.
+    Cold,       //!< Error/rare paths; almost never executed.
+    External,   //!< PLT / shared-library code outside TRRIP's compile.
+};
+
+/** Synthetic data access pattern of one access site. */
+enum class DataPattern : std::uint8_t {
+    Sequential, //!< Line-by-line streaming through a region.
+    Strided,    //!< Fixed stride through a region.
+    Random,     //!< Uniform random offsets in a region.
+};
+
+/** Terminator role of a basic block. */
+enum class BBRole : std::uint8_t {
+    Plain,      //!< Biased conditional: likely next block vs rare path.
+    LoopEnd,    //!< Back-edge of an inner loop.
+    CallSite,   //!< Guarded call to another function.
+};
+
+/** Which class of function a call site targets. */
+enum class CalleeClass : std::uint8_t {
+    Handler,
+    Helper,
+    Cold,
+    External,
+};
+
+/** One static data access site inside a basic block. */
+struct DataAccessSpec
+{
+    std::uint16_t region = 0;   //!< Workload data region index.
+    DataPattern pattern = DataPattern::Sequential;
+    std::uint32_t stride = 64;  //!< Bytes, for Strided.
+    float count = 1.0f;         //!< Mean accesses per execution.
+    float storeFraction = 0.2f; //!< Probability an access is a store.
+};
+
+/** One basic block. */
+struct BasicBlock
+{
+    std::uint32_t id = 0;
+    std::uint32_t func = 0;
+    std::uint32_t instrs = 12;  //!< Fixed 4-byte instructions.
+    bool rare = false;          //!< Unlikely-path block.
+
+    BBRole role = BBRole::Plain;
+    /** Plain: probability of the likely (non-rare) successor. */
+    double likelyProb = 0.92;
+    /** LoopEnd: body blocks jumped back over. */
+    std::uint32_t loopBodyLen = 1;
+    /** LoopEnd: mean iterations per loop entry. */
+    double loopIterMean = 4.0;
+    /** CallSite: probability the call fires on a given execution. */
+    double callProb = 0.5;
+    CalleeClass callee = CalleeClass::Helper;
+
+    std::vector<DataAccessSpec> data;
+
+    /** Code bytes (4 bytes per instruction, ARM-like). */
+    std::uint32_t bytes() const { return instrs * 4; }
+};
+
+/** One function. */
+struct Function
+{
+    std::uint32_t id = 0;
+    std::string name;
+    FuncKind kind = FuncKind::Handler;
+    std::vector<std::uint32_t> body;        //!< Executable chain.
+    /** Rare block attached after body[i], or -1. Same length as body. */
+    std::vector<std::int32_t> rareAfter;
+};
+
+/** A whole synthetic program. */
+class Program
+{
+  public:
+    /** Append a function shell; returns its id. */
+    std::uint32_t
+    addFunction(std::string name, FuncKind kind)
+    {
+        const auto id = static_cast<std::uint32_t>(funcs_.size());
+        Function f;
+        f.id = id;
+        f.name = std::move(name);
+        f.kind = kind;
+        funcs_.push_back(std::move(f));
+        return id;
+    }
+
+    /** Append a block to a function's body; returns the block id. */
+    std::uint32_t
+    addBodyBlock(std::uint32_t func, BasicBlock bb)
+    {
+        const auto id = static_cast<std::uint32_t>(blocks_.size());
+        bb.id = id;
+        bb.func = func;
+        bb.rare = false;
+        blocks_.push_back(std::move(bb));
+        funcs_.at(func).body.push_back(id);
+        funcs_.at(func).rareAfter.push_back(-1);
+        return id;
+    }
+
+    /** Attach a rare block after body position @p pos of @p func. */
+    std::uint32_t
+    addRareBlock(std::uint32_t func, std::size_t pos, BasicBlock bb)
+    {
+        Function &f = funcs_.at(func);
+        panic_if(pos >= f.body.size(), "rare block past function end");
+        const auto id = static_cast<std::uint32_t>(blocks_.size());
+        bb.id = id;
+        bb.func = func;
+        bb.rare = true;
+        blocks_.push_back(std::move(bb));
+        f.rareAfter.at(pos) = static_cast<std::int32_t>(id);
+        return id;
+    }
+
+    const std::vector<Function> &functions() const { return funcs_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const Function &function(std::uint32_t id) const
+    { return funcs_.at(id); }
+    const BasicBlock &block(std::uint32_t id) const
+    { return blocks_.at(id); }
+
+    std::size_t numFunctions() const { return funcs_.size(); }
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Total code bytes of a function (body + rare). */
+    std::uint64_t
+    functionBytes(std::uint32_t id) const
+    {
+        const Function &f = funcs_.at(id);
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i < f.body.size(); ++i) {
+            bytes += blocks_[f.body[i]].bytes();
+            if (f.rareAfter[i] >= 0)
+                bytes += blocks_[static_cast<std::uint32_t>(
+                                     f.rareAfter[i])].bytes();
+        }
+        return bytes;
+    }
+
+  private:
+    std::vector<Function> funcs_;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_SW_PROGRAM_HH

@@ -1,0 +1,109 @@
+#include "sw/temperature_classifier.hh"
+
+#include <algorithm>
+
+namespace trrip {
+
+std::uint64_t
+countThreshold(const std::vector<std::uint64_t> &counts,
+               double percentile)
+{
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    if (total == 0)
+        return 0;
+
+    // Eq. 1: C_threshold = C_total * Percentile.
+    const double c_threshold = static_cast<double>(total) * percentile;
+
+    // Eq. 2: sort counters descending and accumulate until the
+    // threshold is exceeded; C_n is the counter that crossed it.
+    std::vector<std::uint64_t> sorted(counts);
+    std::sort(sorted.begin(), sorted.end(),
+              std::greater<std::uint64_t>());
+    std::uint64_t sum = 0;
+    for (auto c : sorted) {
+        if (c == 0)
+            break;
+        sum += c;
+        if (static_cast<double>(sum) >= c_threshold)
+            return c;
+    }
+    // Percentile so close to 1 that every non-zero counter is needed.
+    std::uint64_t min_nonzero = 0;
+    for (auto c : sorted) {
+        if (c > 0)
+            min_nonzero = c;
+    }
+    return min_nonzero;
+}
+
+Classification
+classifyTemperature(const Program &program, const Profile &profile,
+                    const ClassifierOptions &options)
+{
+    Classification out;
+    const std::size_t nblocks = program.numBlocks();
+    out.blockTemp.assign(nblocks, Temperature::None);
+
+    // Build the counter vector over the program's blocks, excluding
+    // external code: the compiler only sees what it compiles.
+    std::vector<std::uint64_t> counts(nblocks, 0);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const auto &blk = program.block(static_cast<std::uint32_t>(b));
+        if (program.function(blk.func).kind != FuncKind::External)
+            counts[b] = profile.count(static_cast<std::uint32_t>(b));
+    }
+
+    out.hotCountThreshold = countThreshold(counts,
+                                           options.percentileHot);
+    out.coldCountThreshold = countThreshold(counts,
+                                            options.percentileCold);
+
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const auto &blk = program.block(static_cast<std::uint32_t>(b));
+        if (program.function(blk.func).kind == FuncKind::External)
+            continue;
+        const std::uint64_t c = counts[b];
+        if (out.hotCountThreshold > 0 && c >= out.hotCountThreshold)
+            out.blockTemp[b] = Temperature::Hot;
+        else if (c == 0 || c < out.coldCountThreshold)
+            out.blockTemp[b] = Temperature::Cold;
+        else
+            out.blockTemp[b] = Temperature::Warm;
+    }
+
+    // Function temperature: hottest block wins; a function whose every
+    // block is cold is cold; external functions stay None.
+    const std::size_t nfuncs = program.numFunctions();
+    out.funcTemp.assign(nfuncs, Temperature::None);
+    out.funcCount.assign(nfuncs, 0);
+    for (std::size_t f = 0; f < nfuncs; ++f) {
+        const Function &fn = program.function(
+            static_cast<std::uint32_t>(f));
+        if (fn.kind == FuncKind::External)
+            continue;
+        Temperature best = Temperature::Cold;
+        std::uint64_t best_count = 0;
+        for (std::size_t i = 0; i < fn.body.size(); ++i) {
+            const auto consider = [&](std::uint32_t bb) {
+                best_count = std::max(best_count, counts[bb]);
+                const Temperature t = out.blockTemp[bb];
+                if (t == Temperature::Hot)
+                    best = Temperature::Hot;
+                else if (t == Temperature::Warm &&
+                         best != Temperature::Hot)
+                    best = Temperature::Warm;
+            };
+            consider(fn.body[i]);
+            if (fn.rareAfter[i] >= 0)
+                consider(static_cast<std::uint32_t>(fn.rareAfter[i]));
+        }
+        out.funcTemp[f] = best;
+        out.funcCount[f] = best_count;
+    }
+    return out;
+}
+
+} // namespace trrip

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PGO code-temperature classification (paper section 4.7, Eqs. 1-2).
+ *
+ * The hot count threshold C_n is found by sorting the BB counters
+ * descending and accumulating until Percentile_hot x C_total is
+ * exceeded; C_n is the counter at which the threshold was crossed.  A
+ * block is hot when its count reaches C_n.  The mirrored computation
+ * with Percentile_cold classifies the negligible tail as cold;
+ * everything in between is warm.  Function temperature is derived from
+ * its blocks (a function is as hot as its hottest block), since the
+ * paper keeps hot/cold splitting disabled and places whole functions
+ * into sections.
+ */
+
+#ifndef TRRIP_SW_TEMPERATURE_CLASSIFIER_HH
+#define TRRIP_SW_TEMPERATURE_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/profile.hh"
+#include "sw/program.hh"
+#include "util/types.hh"
+
+namespace trrip {
+
+/** Classifier thresholds (defaults = LLVM's profile summary). */
+struct ClassifierOptions
+{
+    /** Percentile_hot of Eq. 1; LLVM defaults to 99%. */
+    double percentileHot = 0.99;
+    /** Mirrored percentile for the cold tail; LLVM uses 99.99%. */
+    double percentileCold = 0.9999;
+};
+
+/** Classification result over one program + profile. */
+struct Classification
+{
+    std::vector<Temperature> blockTemp;  //!< Indexed by block id.
+    std::vector<Temperature> funcTemp;   //!< Indexed by function id.
+    std::vector<std::uint64_t> funcCount; //!< Hottest-block count.
+    std::uint64_t hotCountThreshold = 0;  //!< C_n for Percentile_hot.
+    std::uint64_t coldCountThreshold = 0; //!< C_n for Percentile_cold.
+};
+
+/**
+ * Compute C_n per Eqs. 1-2 for an arbitrary percentile over raw
+ * counters.  Returns 0 for an empty/zero profile.
+ */
+std::uint64_t countThreshold(const std::vector<std::uint64_t> &counts,
+                             double percentile);
+
+/**
+ * Classify every block and function of @p program using @p profile.
+ * External functions are never classified (Temperature::None): they
+ * are outside the TRRIP compiler's view (paper section 4.6).
+ */
+Classification classifyTemperature(const Program &program,
+                                   const Profile &profile,
+                                   const ClassifierOptions &options);
+
+} // namespace trrip
+
+#endif // TRRIP_SW_TEMPERATURE_CLASSIFIER_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform() for
+ * non-fatal conditions.
+ */
+
+#ifndef TRRIP_UTIL_LOGGING_HH
+#define TRRIP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace trrip {
+
+/** Abort with a message; for bugs that should never happen. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message; for invalid user configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatArgs(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace trrip
+
+#define panic(...) \
+    ::trrip::panicImpl(__FILE__, __LINE__, \
+                       ::trrip::detail::formatArgs(__VA_ARGS__))
+
+#define fatal(...) \
+    ::trrip::fatalImpl(__FILE__, __LINE__, \
+                       ::trrip::detail::formatArgs(__VA_ARGS__))
+
+#define warn(...) \
+    ::trrip::warnImpl(::trrip::detail::formatArgs(__VA_ARGS__))
+
+#define inform(...) \
+    ::trrip::informImpl(::trrip::detail::formatArgs(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // TRRIP_UTIL_LOGGING_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Saturating counters, the workhorse state element of predictors and
+ * set-dueling monitors (PSEL, SHCT, gshare PHT, ...).
+ */
+
+#ifndef TRRIP_UTIL_SAT_COUNTER_HH
+#define TRRIP_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+/**
+ * An n-bit saturating counter.  Counts in [0, 2^bits - 1]; increments
+ * and decrements clamp at the bounds.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..32).
+     * @param initial Initial count (clamped to the maximum).
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint32_t initial = 0)
+        : max_((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1)),
+          count_(initial > max_ ? max_ : initial)
+    {
+        panic_if(bits == 0, "SatCounter needs at least one bit");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment(std::uint32_t by = 1)
+    {
+        count_ = (count_ + by > max_ || count_ + by < count_)
+                     ? max_ : count_ + by;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement(std::uint32_t by = 1)
+    {
+        count_ = (by > count_) ? 0 : count_ - by;
+    }
+
+    /** Raw count. */
+    std::uint32_t value() const { return count_; }
+
+    /** Maximum representable count. */
+    std::uint32_t max() const { return max_; }
+
+    /** True when count is in the upper half (the "weakly set" test). */
+    bool isSet() const { return count_ > max_ / 2; }
+
+    /** True when saturated at the maximum. */
+    bool isMax() const { return count_ == max_; }
+
+    /** True when saturated at zero. */
+    bool isZero() const { return count_ == 0; }
+
+    /** Reset to an arbitrary value (clamped). */
+    void set(std::uint32_t v) { count_ = v > max_ ? max_ : v; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t count_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_UTIL_SAT_COUNTER_HH

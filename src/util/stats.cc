@@ -1,0 +1,105 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean over non-positive value ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+geomeanPercent(const std::vector<double> &percents)
+{
+    if (percents.empty())
+        return 0.0;
+    std::vector<double> ratios;
+    ratios.reserve(percents.size());
+    for (double p : percents) {
+        double r = 1.0 + p / 100.0;
+        // Clamp pathological inputs (<= -100%) so aggregation stays
+        // defined; such values only occur for broken policies (BRRIP).
+        if (r <= 0.0)
+            r = 1e-3;
+        ratios.push_back(r);
+    }
+    return (geomean(ratios) - 1.0) * 100.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0.0)
+        return samples.front();
+    if (p >= 100.0)
+        return samples.back();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    return samples[rank == 0 ? 0 : rank - 1];
+}
+
+BucketHistogram::BucketHistogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0)
+{
+    panic_if(bounds_.empty(), "BucketHistogram needs at least one bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        panic_if(bounds_[i] <= bounds_[i - 1],
+                 "BucketHistogram bounds must be ascending");
+}
+
+void
+BucketHistogram::add(std::uint64_t sample)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && sample > bounds_[i])
+        ++i;
+    ++counts_[i];
+    ++total_;
+}
+
+double
+BucketHistogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+BucketHistogram::label(std::size_t i) const
+{
+    if (i >= bounds_.size())
+        return std::to_string(bounds_.back()) + "+";
+    const std::uint64_t lo = (i == 0) ? 0 : bounds_[i - 1] + 1;
+    return std::to_string(lo) + "-" + std::to_string(bounds_[i]);
+}
+
+} // namespace trrip

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator and the benchmark
+ * harnesses: running means, geometric means, percentiles, and fixed
+ * bucket histograms (e.g. the reuse-distance buckets of paper Fig. 3).
+ */
+
+#ifndef TRRIP_UTIL_STATS_HH
+#define TRRIP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trrip {
+
+/** Geometric mean of strictly positive values; 0 on empty input. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Geometric mean of (1 + x/100) style percentage deltas, returned back
+ * as a percentage.  Handles negative percentages (> -100) gracefully,
+ * matching how the paper aggregates speedups and MPKI reductions.
+ */
+double geomeanPercent(const std::vector<double> &percents);
+
+/** Arithmetic mean; 0 on empty input. */
+double mean(const std::vector<double> &values);
+
+/**
+ * p-th percentile (0..100) by nearest-rank on a copy of the samples;
+ * 0 on empty input.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Histogram over caller-defined upper bucket bounds.  A sample lands in
+ * the first bucket whose upper bound is >= the sample; samples above
+ * the last bound land in a final overflow bucket.
+ */
+class BucketHistogram
+{
+  public:
+    /** @param upper_bounds Ascending inclusive upper bounds. */
+    explicit BucketHistogram(std::vector<std::uint64_t> upper_bounds);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample);
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count in bucket i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket i; 0 when empty. */
+    double fraction(std::size_t i) const;
+
+    /** Label for bucket i, e.g. "0-4", "5-8", "16+". */
+    std::string label(std::size_t i) const;
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_UTIL_STATS_HH

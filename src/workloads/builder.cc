@@ -1,0 +1,273 @@
+#include "workloads/builder.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+
+namespace {
+
+/** Jittered block size around the configured mean. */
+std::uint32_t
+blockInstrs(Rng &rng, std::uint32_t mean)
+{
+    const std::uint32_t lo = std::max<std::uint32_t>(4, mean / 2);
+    const std::uint32_t hi = mean + mean / 2;
+    return static_cast<std::uint32_t>(rng.range(lo, hi));
+}
+
+/** Attach data access sites to a block. */
+void
+attachData(Rng &rng, const WorkloadParams &p, BasicBlock &bb,
+           double intensity)
+{
+    if (p.regions.empty())
+        return;
+    double total_weight = 0.0;
+    for (const auto &r : p.regions)
+        total_weight += r.weight;
+    // One or two access sites, scaled by the workload intensity.
+    const int sites = rng.chance(0.3) ? 2 : 1;
+    for (int s = 0; s < sites; ++s) {
+        double pick = rng.uniform() * total_weight;
+        std::uint16_t region = 0;
+        for (std::size_t r = 0; r < p.regions.size(); ++r) {
+            pick -= p.regions[r].weight;
+            if (pick <= 0.0) {
+                region = static_cast<std::uint16_t>(r);
+                break;
+            }
+        }
+        DataAccessSpec spec;
+        spec.region = region;
+        spec.pattern = p.regions[region].pattern;
+        spec.stride = p.regions[region].stride;
+        spec.count = static_cast<float>(
+            p.dataAccessesPerBB * intensity / sites);
+        spec.storeFraction = p.regions[region].storeFraction;
+        bb.data.push_back(spec);
+    }
+}
+
+/**
+ * Emit one function body with the standard role mix: some loop ends,
+ * some call sites, the rest plain blocks (about rareBlockFraction of
+ * which get a rare successor).  The last block is kept plain with no
+ * rare successor: it is the return.
+ */
+void
+buildBody(Program &prog, Rng &rng, const WorkloadParams &p,
+          std::uint32_t func, std::uint32_t body_bbs,
+          double data_intensity, bool allow_calls,
+          CalleeClass helper_class)
+{
+    for (std::uint32_t i = 0; i < body_bbs; ++i) {
+        BasicBlock bb;
+        bb.instrs = blockInstrs(rng, p.meanBBInstrs);
+        const bool last = (i + 1 == body_bbs);
+
+        if (!last && i >= p.loopBodyLen &&
+            rng.chance(p.loopBBFraction)) {
+            bb.role = BBRole::LoopEnd;
+            bb.loopBodyLen = p.loopBodyLen;
+            bb.loopIterMean = p.loopIterMean;
+        } else if (!last && allow_calls &&
+                   rng.chance(p.helperCallBBFraction)) {
+            bb.role = BBRole::CallSite;
+            bb.callee = helper_class;
+            bb.callProb = p.helperCallProb;
+        } else {
+            bb.role = BBRole::Plain;
+            bb.likelyProb = rng.chance(p.branchNoise)
+                                ? 0.5
+                                : 1.0 - p.unlikelyProb;
+        }
+        attachData(rng, p, bb, data_intensity);
+        const std::uint32_t pos = static_cast<std::uint32_t>(
+            prog.function(func).body.size());
+        prog.addBodyBlock(func, bb);
+
+        // Rare (unlikely-path) successor for plain non-final blocks.
+        if (!last && bb.role == BBRole::Plain &&
+            rng.chance(p.rareBlockFraction)) {
+            BasicBlock rare;
+            rare.instrs = std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(
+                       bb.instrs * p.rareBlockSizeRatio));
+            rare.role = BBRole::Plain;
+            rare.likelyProb = 1.0; // Straight back to the body.
+            prog.addRareBlock(func, pos, rare);
+        }
+    }
+}
+
+/** Insert a guarded cold/external call site into a handler body. */
+void
+addGuardedCall(Program &prog, Rng &rng, std::uint32_t func,
+               CalleeClass callee, double prob,
+               std::uint32_t mean_instrs)
+{
+    BasicBlock bb;
+    bb.instrs = blockInstrs(rng, mean_instrs);
+    bb.role = BBRole::CallSite;
+    bb.callee = callee;
+    bb.callProb = prob;
+    prog.addBodyBlock(func, bb);
+}
+
+} // namespace
+
+SyntheticWorkload
+buildWorkload(const WorkloadParams &params)
+{
+    fatal_if(params.numHandlers == 0, "workload needs handlers");
+    SyntheticWorkload wl;
+    wl.params = params;
+    Rng rng(params.seed * 0x5851f42d4c957f2dull + 0x14057b7ef767814full);
+    Program &prog = wl.program;
+
+    // --- Dispatcher: prologue, indirect call to a handler, back-edge.
+    wl.dispatcher = prog.addFunction("dispatch", FuncKind::Dispatcher);
+    {
+        BasicBlock prologue;
+        prologue.instrs = blockInstrs(rng, params.meanBBInstrs);
+        prologue.role = BBRole::Plain;
+        prologue.likelyProb = 1.0;
+        attachData(rng, params, prologue, 0.5);
+        prog.addBodyBlock(wl.dispatcher, prologue);
+
+        BasicBlock call;
+        call.instrs = 6;
+        call.role = BBRole::CallSite;
+        call.callee = CalleeClass::Handler;
+        call.callProb = 1.0;
+        prog.addBodyBlock(wl.dispatcher, call);
+
+        BasicBlock backedge;
+        backedge.instrs = 4;
+        backedge.role = BBRole::Plain;
+        backedge.likelyProb = 1.0;
+        prog.addBodyBlock(wl.dispatcher, backedge);
+    }
+
+    // --- Handlers, helpers and cold functions in interleaved "source
+    // order" so the non-PGO layout scatters hot code across the image.
+    const std::uint32_t helpers_per_handler = std::max<std::uint32_t>(
+        1, params.numHelpers / std::max<std::uint32_t>(
+               1, params.numHandlers));
+    std::uint32_t cold_emitted = 0;
+    std::uint32_t helpers_emitted = 0;
+    for (std::uint32_t h = 0; h < params.numHandlers; ++h) {
+        const std::uint32_t f = prog.addFunction(
+            "handler_" + std::to_string(h), FuncKind::Handler);
+        wl.handlers.push_back(f);
+        buildBody(prog, rng, params, f, params.handlerBodyBBs, 1.0,
+                  true, CalleeClass::Helper);
+        // Guarded rare calls near the end of the handler.
+        addGuardedCall(prog, rng, f, CalleeClass::Cold,
+                       params.coldCallProb, params.meanBBInstrs);
+        addGuardedCall(prog, rng, f, CalleeClass::External,
+                       params.externalCallProb, params.meanBBInstrs);
+        // Return block.
+        BasicBlock ret;
+        ret.instrs = 4;
+        prog.addBodyBlock(f, ret);
+
+        for (std::uint32_t k = 0; k < helpers_per_handler &&
+                                  helpers_emitted < params.numHelpers;
+             ++k, ++helpers_emitted) {
+            const std::uint32_t g = prog.addFunction(
+                "helper_" + std::to_string(helpers_emitted),
+                FuncKind::Helper);
+            wl.helpers.push_back(g);
+            buildBody(prog, rng, params, g, params.helperBodyBBs, 0.7,
+                      true, CalleeClass::Helper);
+            BasicBlock ret2;
+            ret2.instrs = 4;
+            prog.addBodyBlock(g, ret2);
+        }
+        // Sprinkle cold functions through the source.
+        if (h % 2 == 1 && cold_emitted < params.numColdFuncs) {
+            const std::uint32_t c = prog.addFunction(
+                "cold_" + std::to_string(cold_emitted++),
+                FuncKind::Cold);
+            wl.coldFuncs.push_back(c);
+            buildBody(prog, rng, params, c, params.coldBodyBBs, 0.3,
+                      false, CalleeClass::Helper);
+            BasicBlock ret3;
+            ret3.instrs = 4;
+            prog.addBodyBlock(c, ret3);
+        }
+    }
+    while (cold_emitted < params.numColdFuncs) {
+        const std::uint32_t c = prog.addFunction(
+            "cold_" + std::to_string(cold_emitted++), FuncKind::Cold);
+        wl.coldFuncs.push_back(c);
+        buildBody(prog, rng, params, c, params.coldBodyBBs, 0.3, false,
+                  CalleeClass::Helper);
+        BasicBlock ret3;
+        ret3.instrs = 4;
+        prog.addBodyBlock(c, ret3);
+    }
+    while (helpers_emitted < params.numHelpers) {
+        const std::uint32_t g = prog.addFunction(
+            "helper_" + std::to_string(helpers_emitted++),
+            FuncKind::Helper);
+        wl.helpers.push_back(g);
+        buildBody(prog, rng, params, g, params.helperBodyBBs, 0.7, true,
+                  CalleeClass::Helper);
+        BasicBlock ret2;
+        ret2.instrs = 4;
+        prog.addBodyBlock(g, ret2);
+    }
+
+    // --- External (PLT / shared-library) functions.
+    for (std::uint32_t e = 0; e < params.numExternalFuncs; ++e) {
+        const std::uint32_t f = prog.addFunction(
+            "ext_" + std::to_string(e), FuncKind::External);
+        wl.externals.push_back(f);
+        buildBody(prog, rng, params, f, params.externalBodyBBs, 0.6,
+                  false, CalleeClass::External);
+        BasicBlock ret;
+        ret.instrs = 4;
+        prog.addBodyBlock(f, ret);
+    }
+
+    // --- Handler frequency tiers: a random core subset is boosted,
+    // a random rare subset damped.  Randomized assignment keeps
+    // source order uncorrelated with hotness, so PGO's reordering is
+    // meaningful.
+    wl.handlerTierWeight.assign(params.numHandlers, 1.0);
+    {
+        std::vector<std::uint32_t> order(params.numHandlers);
+        for (std::uint32_t i = 0; i < params.numHandlers; ++i)
+            order[i] = i;
+        for (std::uint32_t i = params.numHandlers; i > 1; --i) {
+            const auto j = static_cast<std::uint32_t>(rng.below(i));
+            std::swap(order[i - 1], order[j]);
+        }
+        const auto n_core = static_cast<std::uint32_t>(
+            params.coreHandlerFraction * params.numHandlers);
+        const auto n_rare = static_cast<std::uint32_t>(
+            params.rareHandlerFraction * params.numHandlers);
+        for (std::uint32_t i = 0; i < n_core; ++i)
+            wl.handlerTierWeight[order[i]] = params.coreHandlerBoost;
+        for (std::uint32_t i = 0; i < n_rare &&
+                                  n_core + i < params.numHandlers; ++i)
+            wl.handlerTierWeight[order[params.numHandlers - 1 - i]] =
+                params.rareHandlerDamp;
+    }
+
+    // --- Data region base addresses, page aligned, disjoint.
+    Addr base = params.dataBase;
+    for (const auto &r : params.regions) {
+        wl.regionBase.push_back(base);
+        base += (r.sizeBytes + 0xfffull) & ~0xfffull;
+        base += 4096; // Guard page.
+    }
+    return wl;
+}
+
+} // namespace trrip

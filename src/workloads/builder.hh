@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Builds a Program from a WorkloadParams spec, deterministically.
+ */
+
+#ifndef TRRIP_WORKLOADS_BUILDER_HH
+#define TRRIP_WORKLOADS_BUILDER_HH
+
+#include "sw/program.hh"
+#include "workloads/spec.hh"
+
+namespace trrip {
+
+/** A built workload: the program plus its originating spec. */
+struct SyntheticWorkload
+{
+    WorkloadParams params;
+    Program program;
+    std::uint32_t dispatcher = 0;            //!< Dispatcher function id.
+    std::vector<std::uint32_t> handlers;
+    std::vector<std::uint32_t> helpers;
+    std::vector<std::uint32_t> coldFuncs;
+    std::vector<std::uint32_t> externals;
+    std::vector<Addr> regionBase;            //!< Data region bases.
+    /**
+     * Intrinsic frequency multiplier per handler (core/common/rare
+     * tier).  The executor combines it with the run's Zipf skew.
+     */
+    std::vector<double> handlerTierWeight;
+};
+
+/**
+ * Construct the synthetic program for @p params.  Structure depends
+ * only on params (including the seed), never on which layout or policy
+ * later runs it.
+ */
+SyntheticWorkload buildWorkload(const WorkloadParams &params);
+
+} // namespace trrip
+
+#endif // TRRIP_WORKLOADS_BUILDER_HH

@@ -1,0 +1,264 @@
+#include "workloads/executor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+namespace {
+
+/**
+ * Handler selection weights: intrinsic tier multiplier times a Zipf
+ * rank weight with the run's skew (training and evaluation inputs use
+ * different skews, modeling input-set drift).
+ */
+std::vector<double>
+handlerWeights(const SyntheticWorkload &workload, double skew)
+{
+    const std::size_t n = std::max<std::size_t>(
+        1, workload.handlers.size());
+    std::vector<double> w(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double tier = i < workload.handlerTierWeight.size()
+                                ? workload.handlerTierWeight[i]
+                                : 1.0;
+        w[i] = tier / std::pow(static_cast<double>(i + 1), skew);
+    }
+    return w;
+}
+
+} // namespace
+
+Executor::Executor(const SyntheticWorkload &workload,
+                   const ElfImage &image, const ExecOptions &options) :
+    wl_(workload), elf_(image), rng_(options.seed),
+    handlerSampler_(handlerWeights(workload,
+                                   options.handlerZipfSkew)),
+    helperZipf_(std::max<std::size_t>(1, workload.helpers.size()),
+                workload.params.helperZipfSkew),
+    regionCursor_(workload.params.regions.size(), 0)
+{
+    panic_if(elf_.blockAddr.size() != wl_.program.numBlocks(),
+             "layout does not match program");
+    stack_.push_back(Frame{wl_.dispatcher, 0, -1, {}});
+}
+
+std::uint32_t
+Executor::pickCallee(CalleeClass cls)
+{
+    switch (cls) {
+      case CalleeClass::Handler:
+        return wl_.handlers[handlerSampler_.sample(rng_)];
+      case CalleeClass::Helper:
+        return wl_.helpers[helperZipf_.sample(rng_)];
+      case CalleeClass::Cold:
+        return wl_.coldFuncs[rng_.below(wl_.coldFuncs.size())];
+      case CalleeClass::External:
+        return wl_.externals[rng_.below(wl_.externals.size())];
+    }
+    panic("unknown callee class");
+}
+
+void
+Executor::emitData(const BasicBlock &bb, BBEvent &ev)
+{
+    for (const DataAccessSpec &spec : bb.data) {
+        // Mean accesses per execution, fractional part stochastic.
+        std::uint32_t n = static_cast<std::uint32_t>(spec.count);
+        if (rng_.chance(spec.count - static_cast<double>(n)))
+            ++n;
+        for (std::uint32_t i = 0;
+             i < n && ev.numData < ev.data.size(); ++i) {
+            const DataRegionSpec &region =
+                wl_.params.regions[spec.region];
+            std::uint64_t &cursor = regionCursor_[spec.region];
+            std::uint64_t offset = 0;
+            switch (spec.pattern) {
+              case DataPattern::Sequential:
+              case DataPattern::Strided:
+                cursor = (cursor + spec.stride) % region.sizeBytes;
+                offset = cursor;
+                break;
+              case DataPattern::Random:
+                if (rng_.chance(region.localityFraction)) {
+                    // Hot working-set window at the region start.
+                    offset = rng_.below(std::min<std::uint64_t>(
+                        region.localityBytes, region.sizeBytes));
+                } else {
+                    offset = rng_.below(region.sizeBytes);
+                }
+                break;
+            }
+            DataAccessEvent &d = ev.data[ev.numData++];
+            d.vaddr = wl_.regionBase[spec.region] + offset;
+            d.pc = ev.vaddr + 8;
+            d.isStore = rng_.chance(spec.storeFraction);
+            d.dependent = !d.isStore &&
+                          rng_.chance(region.dependentFraction);
+        }
+    }
+}
+
+void
+Executor::setBranch(BBEvent &ev, Addr target, bool conditional,
+                    bool is_call, bool is_return, bool is_indirect)
+{
+    const Addr fallthrough = ev.vaddr + ev.bytes;
+    const bool taken = target != fallthrough;
+    if (!conditional && !is_call && !is_return && !taken) {
+        // Pure fall-through: no branch instruction at all.
+        ev.hasBranch = false;
+        return;
+    }
+    ev.hasBranch = true;
+    ev.branch = BranchInfo{};
+    ev.branch.pc = ev.vaddr + ev.bytes - 4;
+    ev.branch.target = target;
+    ev.branch.taken = taken;
+    ev.branch.conditional = conditional;
+    ev.branch.isCall = is_call;
+    ev.branch.isReturn = is_return;
+    ev.branch.isIndirect = is_indirect;
+}
+
+void
+Executor::next(BBEvent &ev)
+{
+    Frame &fr = stack_.back();
+    const Function &fn = wl_.program.function(fr.func);
+
+    const bool is_rare = fr.pendingRare >= 0;
+    const std::uint32_t bb_id =
+        is_rare ? static_cast<std::uint32_t>(fr.pendingRare)
+                : fn.body[fr.pos];
+    const BasicBlock &bb = wl_.program.block(bb_id);
+
+    ev.bb = bb_id;
+    ev.vaddr = elf_.blockAddr[bb_id];
+    ev.instrs = bb.instrs;
+    ev.bytes = bb.bytes();
+    ev.numData = 0;
+    ev.hasBranch = false;
+    ev.fdipMispredict = false;
+    emitData(bb, ev);
+
+    if (is_rare) {
+        // Rare block rejoins the body at the next position.
+        fr.pendingRare = -1;
+        ++fr.pos;
+        setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], false, false,
+                  false, false);
+        return;
+    }
+
+    const bool last = fr.pos + 1 == fn.body.size();
+    const bool is_dispatcher = fn.kind == FuncKind::Dispatcher;
+
+    if (last) {
+        if (is_dispatcher) {
+            // Dispatcher loops forever.
+            fr.pos = 0;
+            setBranch(ev, elf_.blockAddr[fn.body[0]], false, false,
+                      false, false);
+            return;
+        }
+        // Return to the caller's resume block.
+        panic_if(stack_.size() < 2, "return from the bottom frame");
+        stack_.pop_back();
+        Frame &caller = stack_.back();
+        const Function &cfn = wl_.program.function(caller.func);
+        const Addr resume = elf_.blockAddr[cfn.body[caller.pos]];
+        setBranch(ev, resume, false, false, true, false);
+        return;
+    }
+
+    switch (bb.role) {
+      case BBRole::LoopEnd: {
+        // Find (or start) the loop anchored at this position; loops
+        // are keyed by position so overlapping/nested loops each keep
+        // their own trip count.
+        ActiveLoop *loop = nullptr;
+        for (ActiveLoop &l : fr.loops) {
+            if (l.pos == fr.pos) {
+                loop = &l;
+                break;
+            }
+        }
+        if (!loop) {
+            const double jitter = 0.5 + rng_.uniform();
+            const auto iters = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(bb.loopIterMean * jitter));
+            fr.loops.push_back(ActiveLoop{
+                fr.pos, static_cast<std::uint32_t>(iters - 1)});
+            loop = &fr.loops.back();
+        }
+        if (loop->remaining > 0) {
+            --loop->remaining;
+            const std::uint32_t back = fr.pos - bb.loopBodyLen;
+            fr.pos = back;
+            setBranch(ev, elf_.blockAddr[fn.body[back]], true, false,
+                      false, false);
+        } else {
+            // Loop exit: retire this loop's state.
+            for (std::size_t i = 0; i < fr.loops.size(); ++i) {
+                if (fr.loops[i].pos == fr.pos) {
+                    fr.loops.erase(
+                        fr.loops.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+                    break;
+                }
+            }
+            ++fr.pos;
+            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], true, false,
+                      false, false);
+        }
+        return;
+      }
+      case BBRole::CallSite: {
+        const bool can_call =
+            stack_.size() < wl_.params.maxCallDepth &&
+            !(bb.callee == CalleeClass::Helper &&
+              wl_.helpers.empty()) &&
+            !(bb.callee == CalleeClass::Cold &&
+              wl_.coldFuncs.empty()) &&
+            !(bb.callee == CalleeClass::External &&
+              wl_.externals.empty());
+        if (can_call && rng_.chance(bb.callProb)) {
+            const std::uint32_t callee = pickCallee(bb.callee);
+            ++fr.pos; // Resume point after the call.
+            const bool indirect = bb.callee == CalleeClass::Handler ||
+                                  bb.callee == CalleeClass::External;
+            setBranch(ev, elf_.funcEntry[callee], false, true, false,
+                      indirect);
+            stack_.push_back(Frame{callee, 0, -1, {}});
+        } else {
+            // Guard skipped the call.
+            ++fr.pos;
+            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], true, false,
+                      false, false);
+        }
+        return;
+      }
+      case BBRole::Plain:
+      default: {
+        const std::int32_t rare = fn.rareAfter[fr.pos];
+        const bool likely = rng_.chance(bb.likelyProb);
+        if (!likely && rare >= 0) {
+            // Detour through the unlikely path, then rejoin.
+            fr.pendingRare = rare;
+            setBranch(ev,
+                      elf_.blockAddr[static_cast<std::uint32_t>(rare)],
+                      true, false, false, false);
+        } else {
+            ++fr.pos;
+            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]],
+                      bb.likelyProb < 1.0 && rare >= 0, false, false,
+                      false);
+        }
+        return;
+      }
+    }
+}
+
+} // namespace trrip

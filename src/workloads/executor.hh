@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Execution engine: walks a SyntheticWorkload's control structure and
+ * emits a deterministic stream of basic-block events (fetch addresses,
+ * branch outcomes, data accesses) against a concrete code layout.
+ *
+ * Branch taken-ness is derived from layout adjacency: a successor laid
+ * out immediately after the block is a fall-through (not taken),
+ * anything else is taken.  The same workload therefore produces
+ * taken-heavy sparse fetch in the non-PGO layout and fall-through
+ * dense fetch in the PGO layout, which is exactly the code-layout
+ * effect the paper's section 2.3 measures.
+ */
+
+#ifndef TRRIP_WORKLOADS_EXECUTOR_HH
+#define TRRIP_WORKLOADS_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictors.hh"
+#include "sw/elf_image.hh"
+#include "util/rng.hh"
+#include "workloads/builder.hh"
+
+namespace trrip {
+
+/** One dynamic data access. */
+struct DataAccessEvent
+{
+    Addr vaddr = 0;
+    Addr pc = 0;
+    bool isStore = false;
+    bool dependent = false; //!< Serially dependent (pointer chase).
+};
+
+/** One executed basic block with its terminator and data accesses. */
+struct BBEvent
+{
+    std::uint32_t bb = 0;
+    Addr vaddr = 0;
+    std::uint32_t instrs = 0;
+    std::uint32_t bytes = 0;
+    bool hasBranch = false;
+    BranchInfo branch;
+    std::uint8_t numData = 0;
+    std::array<DataAccessEvent, 12> data;
+    /** Scratch for the core's FDIP lookahead. */
+    bool fdipMispredict = false;
+};
+
+/** Executor knobs that differ between training and evaluation runs. */
+struct ExecOptions
+{
+    std::uint64_t seed = 1;
+    double handlerZipfSkew = 0.8;
+};
+
+/** Infinite, deterministic event stream over one workload + layout. */
+class Executor
+{
+  public:
+    Executor(const SyntheticWorkload &workload, const ElfImage &image,
+             const ExecOptions &options);
+
+    /** Produce the next event (the stream never ends). */
+    void next(BBEvent &ev);
+
+    /** Dynamic call-stack depth (test hook). */
+    std::size_t stackDepth() const { return stack_.size(); }
+
+  private:
+    /** One active loop: its LoopEnd position and remaining trips. */
+    struct ActiveLoop
+    {
+        std::uint32_t pos = 0;
+        std::uint32_t remaining = 0;
+    };
+
+    struct Frame
+    {
+        std::uint32_t func = 0;
+        std::uint32_t pos = 0;
+        std::int32_t pendingRare = -1;  //!< Rare block to visit next.
+        /** Active loops in this frame (nesting is shallow). */
+        std::vector<ActiveLoop> loops;
+    };
+
+    void emitData(const BasicBlock &bb, BBEvent &ev);
+    std::uint32_t pickCallee(CalleeClass cls);
+    /** Fill terminator info given the resolved successor address. */
+    void setBranch(BBEvent &ev, Addr target, bool conditional,
+                   bool is_call, bool is_return, bool is_indirect);
+
+    const SyntheticWorkload &wl_;
+    const ElfImage &elf_;
+    Rng rng_;
+    WeightedSampler handlerSampler_;
+    ZipfSampler helperZipf_;
+    std::vector<Frame> stack_;
+    std::vector<std::uint64_t> regionCursor_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_WORKLOADS_EXECUTOR_HH

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: geometry math, single-cache
+ * behavior, prefetchers, and the four-level hierarchy (inclusive L2,
+ * exclusive SLC, in-flight prefetch accounting, MPKI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/prefetcher.hh"
+#include "cache/replacement/lru.hh"
+#include "cache/replacement/rrip.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+namespace {
+
+MemRequest
+inst(Addr a)
+{
+    MemRequest r;
+    r.vaddr = r.paddr = a;
+    r.pc = a;
+    r.type = AccessType::InstFetch;
+    return r;
+}
+
+MemRequest
+load(Addr a)
+{
+    MemRequest r;
+    r.vaddr = r.paddr = a;
+    r.pc = a;
+    r.type = AccessType::Load;
+    return r;
+}
+
+MemRequest
+store(Addr a)
+{
+    MemRequest r = load(a);
+    r.type = AccessType::Store;
+    return r;
+}
+
+// ---------------------------- Geometry -----------------------------
+
+TEST(Geometry, DerivedQuantities)
+{
+    CacheGeometry g{"l2", 128 * 1024, 8, 64};
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(g.setIndex(0x0), g.setIndex(0x0 + 256 * 64));
+    EXPECT_NE(g.setIndex(0x0), g.setIndex(0x40));
+}
+
+TEST(Geometry, TagDisambiguatesAliases)
+{
+    CacheGeometry g{"l1", 64 * 1024, 4, 64};
+    const Addr a = 0x10000, b = a + g.numSets() * 64;
+    EXPECT_EQ(g.setIndex(a), g.setIndex(b));
+    EXPECT_NE(g.tag(a), g.tag(b));
+}
+
+TEST(GeometryDeath, RejectsNonPowerOfTwoSets)
+{
+    CacheGeometry g{"bad", 96 * 1024, 8, 64}; // 192 sets.
+    EXPECT_EXIT(g.check(), ::testing::ExitedWithCode(1), "set count");
+}
+
+TEST(GeometryDeath, RejectsBadLineSize)
+{
+    CacheGeometry g{"bad", 64 * 1024, 4, 48};
+    EXPECT_EXIT(g.check(), ::testing::ExitedWithCode(1), "power of two");
+}
+
+// ------------------------------ Cache ------------------------------
+
+TEST(CacheBasic, MissThenHit)
+{
+    CacheGeometry g{"c", 4 * 1024, 4, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    EXPECT_FALSE(c.access(inst(0x1000)));
+    c.fill(inst(0x1000));
+    EXPECT_TRUE(c.access(inst(0x1000)));
+    EXPECT_TRUE(c.access(inst(0x103f))); // Same line, different byte.
+    EXPECT_FALSE(c.access(inst(0x1040))); // Next line.
+}
+
+TEST(CacheBasic, StatsCountDemandOnly)
+{
+    CacheGeometry g{"c", 4 * 1024, 4, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    c.access(inst(0x1000));
+    MemRequest pf = inst(0x1000);
+    pf.type = AccessType::InstPrefetch;
+    c.access(pf);
+    EXPECT_EQ(c.stats().demandAccesses, 1u);
+    EXPECT_EQ(c.stats().instDemandMisses, 1u);
+    c.access(load(0x2000));
+    EXPECT_EQ(c.stats().dataDemandMisses, 1u);
+}
+
+TEST(CacheBasic, EvictionReturnsVictim)
+{
+    CacheGeometry g{"c", 1024, 2, 64}; // 8 sets, 2 ways.
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    const std::uint64_t stride = 8 * 64;
+    c.fill(inst(0x0));
+    c.fill(inst(0x0 + stride));
+    const auto evicted = c.fill(inst(0x0 + 2 * stride));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->addr, 0x0u);
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(CacheBasic, EvictionStatsByTemperature)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    const std::uint64_t stride = 8 * 64;
+    MemRequest hot = inst(0x0);
+    hot.temp = Temperature::Hot;
+    c.fill(hot);
+    c.fill(inst(stride));
+    c.fill(inst(2 * stride)); // Evicts the hot line.
+    EXPECT_EQ(c.stats().evictionsByTemp[encodeTemperature(
+                  Temperature::Hot)],
+              1u);
+    EXPECT_EQ(c.stats().instEvictions, 1u);
+}
+
+TEST(CacheBasic, DirtyLineWritebackCounted)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    const std::uint64_t stride = 8 * 64;
+    c.fill(store(0x0));
+    c.fill(load(stride));
+    const auto evicted = c.fill(load(2 * stride));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->dirty);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheBasic, MarkDirtyOnExistingLine)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    c.fill(load(0x100));
+    c.markDirty(0x100);
+    EXPECT_TRUE(c.find(0x100)->dirty);
+}
+
+TEST(CacheBasic, InvalidateRemovesLine)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    c.fill(inst(0x100));
+    EXPECT_TRUE(c.contains(0x100));
+    const auto line = c.invalidate(0x100);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_FALSE(c.invalidate(0x100).has_value());
+}
+
+TEST(CacheBasic, ResetClearsEverything)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    c.fill(inst(0x100));
+    c.access(inst(0x100));
+    c.reset();
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_EQ(c.stats().demandAccesses, 0u);
+}
+
+TEST(CacheDeath, DoubleFillPanics)
+{
+    CacheGeometry g{"c", 1024, 2, 64};
+    Cache c(g, std::make_unique<LruPolicy>(g));
+    c.fill(inst(0x100));
+    EXPECT_DEATH(c.fill(inst(0x100)), "already-present");
+}
+
+// --------------------------- Prefetchers ---------------------------
+
+TEST(StridePf, DetectsConstantStride)
+{
+    StridePrefetcher pf(64, 2);
+    std::vector<Addr> out;
+    for (Addr a = 0x1000; a <= 0x1400; a += 0x100)
+        pf.train(0x40, a, out);
+    ASSERT_FALSE(out.empty());
+    // Latest training at 0x1400 predicts 0x1500 and 0x1600.
+    EXPECT_EQ(out[out.size() - 2], 0x1500u);
+    EXPECT_EQ(out.back(), 0x1600u);
+}
+
+TEST(StridePf, NoPrefetchWithoutConfidence)
+{
+    StridePrefetcher pf(64, 2);
+    std::vector<Addr> out;
+    pf.train(0x40, 0x1000, out);
+    pf.train(0x40, 0x1100, out);
+    EXPECT_TRUE(out.empty()); // Needs two matching strides.
+}
+
+TEST(StridePf, RandomAddressesStaySilent)
+{
+    StridePrefetcher pf(64, 2);
+    Rng rng(5);
+    std::vector<Addr> out;
+    for (int i = 0; i < 200; ++i)
+        pf.train(0x40, rng.below(1 << 24), out);
+    EXPECT_LT(out.size(), 16u);
+}
+
+TEST(StridePf, NegativeStrideSupported)
+{
+    StridePrefetcher pf(64, 1);
+    std::vector<Addr> out;
+    for (Addr a = 0x10000; a >= 0xf000; a -= 0x200)
+        pf.train(0x80, a, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), 0xf000u - 0x200u);
+}
+
+TEST(NextLinePf, EmitsSequentialLines)
+{
+    NextLinePrefetcher pf(2, 64);
+    std::vector<Addr> out;
+    pf.train(0x1000, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x1040u);
+    EXPECT_EQ(out[1], 0x1080u);
+}
+
+// ---------------------------- Hierarchy -----------------------------
+
+HierarchyParams
+tinyParams()
+{
+    HierarchyParams hp;
+    hp.l1i = CacheGeometry{"L1I", 2 * 1024, 2, 64};
+    hp.l1d = CacheGeometry{"L1D", 2 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 8 * 1024, 4, 64};
+    hp.slc = CacheGeometry{"SLC", 32 * 1024, 8, 64};
+    hp.enablePrefetch = false;
+    return hp;
+}
+
+std::unique_ptr<CacheHierarchy>
+makeHier(const HierarchyParams &hp)
+{
+    return std::make_unique<CacheHierarchy>(
+        hp, std::make_unique<SrripPolicy>(hp.l2));
+}
+
+TEST(Hierarchy, ColdMissGoesToDram)
+{
+    auto h = makeHier(tinyParams());
+    const auto out = h->instFetch(inst(0x1000), 0);
+    EXPECT_EQ(out.servedBy, ServedBy::Dram);
+    EXPECT_TRUE(out.l2DemandMiss);
+    EXPECT_GE(out.latency, 400u);
+    EXPECT_EQ(h->dram().reads(), 1u);
+}
+
+TEST(Hierarchy, SecondFetchHitsL1)
+{
+    auto h = makeHier(tinyParams());
+    h->instFetch(inst(0x1000), 0);
+    const auto out = h->instFetch(inst(0x1000), 100);
+    EXPECT_EQ(out.servedBy, ServedBy::L1);
+    EXPECT_EQ(out.latency, 0u);
+}
+
+TEST(Hierarchy, L1EvictedLineHitsInL2)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    // L1I has 16 sets * 2 ways; blow it out with 3 aliases of set 0.
+    const std::uint64_t stride = hp.l1i.numSets() * 64;
+    h->instFetch(inst(0x0), 0);
+    h->instFetch(inst(stride), 100);
+    h->instFetch(inst(2 * stride), 200);
+    const auto out = h->instFetch(inst(0x0), 300);
+    EXPECT_EQ(out.servedBy, ServedBy::L2);
+    EXPECT_FALSE(out.l2DemandMiss);
+}
+
+TEST(Hierarchy, InclusiveBackInvalidation)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    // Fill one L2 set (4 ways) plus one more alias to force an L2
+    // eviction; the evicted line must leave the L1 too.
+    const std::uint64_t stride = hp.l2.numSets() * 64;
+    for (int i = 0; i < 5; ++i)
+        h->instFetch(inst(i * stride), i * 1000);
+    EXPECT_TRUE(h->checkInclusion());
+    // 0x0 was evicted from L2 (SRRIP victimizes aged lines; at least
+    // one of the five aliases is gone, and no L1 line may outlive it).
+    std::uint64_t resident = 0;
+    for (int i = 0; i < 5; ++i)
+        resident += h->l2().contains(i * stride) ? 1 : 0;
+    EXPECT_EQ(resident, 4u);
+}
+
+TEST(Hierarchy, ExclusiveSlcHoldsL2Victims)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    const std::uint64_t stride = hp.l2.numSets() * 64;
+    for (int i = 0; i < 5; ++i)
+        h->instFetch(inst(i * stride), i * 1000);
+    // Exactly one line was evicted from L2 into the SLC.
+    std::uint64_t in_slc = 0;
+    for (int i = 0; i < 5; ++i) {
+        const Addr a = i * stride;
+        EXPECT_FALSE(h->l2().contains(a) && h->slc().contains(a))
+            << "line in both L2 and exclusive SLC";
+        in_slc += h->slc().contains(a) ? 1 : 0;
+    }
+    EXPECT_EQ(in_slc, 1u);
+}
+
+TEST(Hierarchy, SlcHitMovesLineBackToL2)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    const std::uint64_t stride = hp.l2.numSets() * 64;
+    for (int i = 0; i < 5; ++i)
+        h->instFetch(inst(i * stride), i * 1000);
+    Addr victim_addr = ~0ull;
+    for (int i = 0; i < 5; ++i) {
+        if (h->slc().contains(i * stride))
+            victim_addr = i * stride;
+    }
+    ASSERT_NE(victim_addr, ~0ull);
+    const auto out = h->instFetch(inst(victim_addr), 10000);
+    EXPECT_EQ(out.servedBy, ServedBy::Slc);
+    EXPECT_TRUE(h->l2().contains(victim_addr));
+    EXPECT_FALSE(h->slc().contains(victim_addr));
+}
+
+TEST(Hierarchy, StoreMakesLineDirtyThroughLevels)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    h->dataAccess(store(0x5000), 0);
+    EXPECT_TRUE(h->l1d().find(0x5000)->dirty);
+}
+
+TEST(Hierarchy, DirtyDataWritesBackToDramEventually)
+{
+    auto hp = tinyParams();
+    hp.slc = CacheGeometry{"SLC", 2 * 1024, 2, 64};
+    auto h = makeHier(hp);
+    // Write a line, then stream enough conflicting lines through to
+    // push it out of L1D, L2 and the tiny SLC.
+    h->dataAccess(store(0x0), 0);
+    const std::uint64_t stride = 32 * 1024;
+    for (int i = 1; i < 24; ++i)
+        h->dataAccess(load(i * stride), i * 1000);
+    EXPECT_GE(h->dram().writes(), 1u);
+}
+
+TEST(Hierarchy, CompletedPrefetchCoversDemand)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    MemRequest pf = inst(0x9000);
+    pf.type = AccessType::InstPrefetch;
+    h->instPrefetch(pf, 0);
+    // Demand long after the prefetch latency elapsed: L2 hit.
+    const auto out = h->instFetch(inst(0x9000), 5000);
+    EXPECT_FALSE(out.l2DemandMiss);
+    EXPECT_EQ(h->prefetchStats().covered, 1u);
+}
+
+TEST(Hierarchy, LatePrefetchStillCountsAsMiss)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    MemRequest pf = inst(0x9000);
+    pf.type = AccessType::InstPrefetch;
+    h->instPrefetch(pf, 0);
+    // Demand while the fill is still in flight: merge with it.
+    const auto out = h->instFetch(inst(0x9000), 100);
+    EXPECT_TRUE(out.l2DemandMiss);
+    EXPECT_EQ(out.servedBy, ServedBy::Inflight);
+    EXPECT_EQ(h->prefetchStats().late, 1u);
+    // But the exposed latency is smaller than a full DRAM trip.
+    EXPECT_LT(out.latency, 400u);
+}
+
+TEST(Hierarchy, PrefetchOfResidentLineIsDropped)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    h->instFetch(inst(0x9000), 0);
+    MemRequest pf = inst(0x9000);
+    pf.type = AccessType::InstPrefetch;
+    h->instPrefetch(pf, 100);
+    EXPECT_EQ(h->prefetchStats().issued, 0u);
+}
+
+TEST(Hierarchy, MarkL2PrioritySetsBit)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    h->instFetch(inst(0x9000), 0);
+    h->markL2Priority(0x9000);
+    EXPECT_TRUE(h->l2().find(0x9000)->priority);
+    h->markL2Priority(0xdead000); // Absent: no-op, no crash.
+}
+
+TEST(Hierarchy, MpkiMath)
+{
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    for (int i = 0; i < 10; ++i)
+        h->instFetch(inst(0x100000 + i * 4096), i * 1000);
+    EXPECT_DOUBLE_EQ(h->l2InstMpki(10000), 1.0);
+    EXPECT_DOUBLE_EQ(h->l2DataMpki(10000), 0.0);
+    EXPECT_DOUBLE_EQ(h->l2InstMpki(0), 0.0);
+}
+
+TEST(Hierarchy, ObserverSeesDemandL2Stream)
+{
+    struct Counter : L2AccessObserver
+    {
+        int n = 0;
+        void onL2Access(const MemRequest &) override { ++n; }
+    } counter;
+    auto hp = tinyParams();
+    auto h = makeHier(hp);
+    h->setL2Observer(&counter);
+    h->instFetch(inst(0x1000), 0);  // L1 miss -> observed.
+    h->instFetch(inst(0x1000), 10); // L1 hit -> not observed.
+    h->dataAccess(load(0x2000), 20);
+    EXPECT_EQ(counter.n, 2);
+}
+
+TEST(Hierarchy, DramBandwidthQueuesBackToBackReads)
+{
+    Dram dram(DramParams{400, 16.8});
+    const Cycles first = dram.read(0);
+    const Cycles second = dram.read(0);
+    EXPECT_EQ(first, 400u);
+    EXPECT_GT(second, 400u); // Queued behind the first transfer.
+}
+
+TEST(Hierarchy, DramResetClearsState)
+{
+    Dram dram;
+    dram.read(0);
+    dram.write(0);
+    dram.reset();
+    EXPECT_EQ(dram.reads(), 0u);
+    EXPECT_EQ(dram.writes(), 0u);
+    EXPECT_EQ(dram.read(0), 400u);
+}
+
+} // namespace
+} // namespace trrip

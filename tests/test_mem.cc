@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the mem library: request classification helpers and the
+ * DRAM latency/bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/request.hh"
+
+namespace trrip {
+namespace {
+
+TEST(Request, AccessTypeClassification)
+{
+    EXPECT_TRUE(isInstAccess(AccessType::InstFetch));
+    EXPECT_TRUE(isInstAccess(AccessType::InstPrefetch));
+    EXPECT_FALSE(isInstAccess(AccessType::Load));
+    EXPECT_FALSE(isInstAccess(AccessType::Store));
+    EXPECT_TRUE(isPrefetch(AccessType::InstPrefetch));
+    EXPECT_TRUE(isPrefetch(AccessType::DataPrefetch));
+    EXPECT_FALSE(isPrefetch(AccessType::InstFetch));
+}
+
+TEST(Request, MemberHelpers)
+{
+    MemRequest r;
+    r.type = AccessType::Store;
+    EXPECT_TRUE(r.isWrite());
+    EXPECT_FALSE(r.isInst());
+    r.type = AccessType::InstPrefetch;
+    EXPECT_TRUE(r.isInst());
+    EXPECT_TRUE(r.isPrefetch());
+}
+
+TEST(Request, DefaultsCarryNoTemperature)
+{
+    MemRequest r;
+    EXPECT_EQ(r.temp, Temperature::None);
+    EXPECT_FALSE(r.priority);
+}
+
+TEST(DramModel, IdleLatencyIsConfigured)
+{
+    Dram dram(DramParams{300, 10.0});
+    EXPECT_EQ(dram.read(0), 300u);
+}
+
+TEST(DramModel, QueueingDelaysBurst)
+{
+    Dram dram(DramParams{400, 16.8});
+    Cycles last = 0;
+    for (int i = 0; i < 10; ++i)
+        last = dram.read(0);
+    // Tenth request waits behind nine transfers (~151 cycles).
+    EXPECT_GE(last, 400u + 9 * 16);
+}
+
+TEST(DramModel, SpacedRequestsSeeNoQueue)
+{
+    Dram dram;
+    EXPECT_EQ(dram.read(0), 400u);
+    EXPECT_EQ(dram.read(10000), 400u);
+}
+
+TEST(DramModel, WritesOccupyBandwidth)
+{
+    Dram dram(DramParams{400, 16.8});
+    for (int i = 0; i < 10; ++i)
+        dram.write(0);
+    EXPECT_GT(dram.read(0), 400u + 100u);
+    EXPECT_EQ(dram.writes(), 10u);
+}
+
+TEST(DramModel, FractionalBandwidthAccumulates)
+{
+    // 16.8 cycles/line must average out, not truncate to 16.
+    Dram dram(DramParams{0, 16.8});
+    Cycles last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = dram.read(0);
+    EXPECT_GE(last, static_cast<Cycles>(16.8 * 99) - 2);
+}
+
+} // namespace
+} // namespace trrip

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the McPAT-lite power/area model (paper Table 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/mcpat_lite.hh"
+
+namespace trrip {
+namespace {
+
+TEST(McPat, BaselineIsPositive)
+{
+    McPatLite model;
+    const auto base = model.baseline();
+    EXPECT_GT(base.areaMm2, 0.0);
+    EXPECT_GT(base.staticMw, 0.0);
+}
+
+TEST(McPat, TrripAndClipAreFree)
+{
+    // Paper Table 4: ~0.0 / ~0.0 -- the PTE bits already exist (PBHA)
+    // and nothing is stored in the caches.
+    McPatLite model;
+    for (const char *name : {"TRRIP", "TRRIP-1", "TRRIP-2", "CLIP"}) {
+        const auto o = model.overhead(name);
+        EXPECT_EQ(o.extraStorageBits, 0u) << name;
+        EXPECT_DOUBLE_EQ(o.areaPct, 0.0) << name;
+        EXPECT_DOUBLE_EQ(o.staticPowerPct, 0.0) << name;
+    }
+}
+
+TEST(McPat, EmissaryCountsTwoBitsPerLine)
+{
+    McPatLite model;
+    const auto o = model.overhead("Emissary");
+    // (64 + 64 + 128) KiB / 64 B = 4096 lines, 2 bits each.
+    EXPECT_EQ(o.extraStorageBits, 4096u * 2);
+    EXPECT_GT(o.areaPct, 0.0);
+}
+
+TEST(McPat, ShipCounts64KiBTable)
+{
+    McPatLite model;
+    const auto o = model.overhead("SHiP");
+    EXPECT_EQ(o.extraStorageBits, 64u * 1024 * 8);
+}
+
+TEST(McPat, Table4OrderingMatchesPaper)
+{
+    // SHiP > Emissary > CLIP == TRRIP == 0.
+    McPatLite model;
+    const auto rows = model.table4();
+    ASSERT_EQ(rows.size(), 4u);
+    const auto find = [&](const std::string &n) {
+        for (const auto &r : rows) {
+            if (r.name == n)
+                return r;
+        }
+        return PolicyOverhead{};
+    };
+    EXPECT_GT(find("SHiP").areaPct, find("Emissary").areaPct);
+    EXPECT_GT(find("Emissary").areaPct, find("CLIP").areaPct);
+    EXPECT_GT(find("SHiP").staticPowerPct,
+              find("Emissary").staticPowerPct);
+}
+
+TEST(McPat, PaperScaleCalibration)
+{
+    // The calibration targets the paper's reported magnitudes:
+    // SHiP ~3.0% area / ~1.7% power; Emissary ~0.7% / ~0.5%.
+    McPatLite model;
+    const auto ship = model.overhead("SHiP");
+    EXPECT_NEAR(ship.areaPct, 3.0, 0.6);
+    EXPECT_NEAR(ship.staticPowerPct, 1.7, 0.4);
+    const auto emissary = model.overhead("Emissary");
+    EXPECT_NEAR(emissary.areaPct, 0.7, 0.25);
+    EXPECT_NEAR(emissary.staticPowerPct, 0.5, 0.25);
+}
+
+TEST(McPat, OverheadScalesWithCacheConfig)
+{
+    ChipConfig big;
+    big.l2Bytes = 512 * 1024;
+    McPatLite small_model;
+    McPatLite big_model(big);
+    // Emissary's per-line bits scale with cache size (paper section
+    // 4.8's point about hardware overheads growing with the cache).
+    EXPECT_GT(big_model.overhead("Emissary").extraStorageBits,
+              small_model.overhead("Emissary").extraStorageBits);
+}
+
+TEST(McPatDeath, UnknownPolicyIsFatal)
+{
+    McPatLite model;
+    EXPECT_EXIT(model.overhead("LRU"), ::testing::ExitedWithCode(1),
+                "no Table 4 overhead");
+}
+
+} // namespace
+} // namespace trrip

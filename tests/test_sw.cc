@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Unit tests for the software stack: program IR, profile, the Eq. 1/2
+ * temperature classifier, PGO layout, ELF image, page table with PBHA
+ * attribute bits, loader (including mixed-page policies of paper
+ * section 4.9), and the MMU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sw/layout.hh"
+#include "sw/loader.hh"
+#include "sw/mmu.hh"
+#include "sw/page_table.hh"
+#include "sw/profile.hh"
+#include "sw/program.hh"
+#include "sw/temperature_classifier.hh"
+
+namespace trrip {
+namespace {
+
+/** Two-function program: f0 (2 body blocks + rare), f1 (1 block). */
+Program
+tinyProgram()
+{
+    Program p;
+    const auto f0 = p.addFunction("f0", FuncKind::Handler);
+    BasicBlock b;
+    b.instrs = 8;
+    p.addBodyBlock(f0, b);  // bb 0
+    p.addBodyBlock(f0, b);  // bb 1
+    BasicBlock rare;
+    rare.instrs = 16;
+    p.addRareBlock(f0, 0, rare); // bb 2, attached after body[0]
+    const auto f1 = p.addFunction("f1", FuncKind::Cold);
+    p.addBodyBlock(f1, b);  // bb 3
+    return p;
+}
+
+// --------------------------- Program IR ----------------------------
+
+TEST(ProgramIr, StructureBookkeeping)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.numFunctions(), 2u);
+    EXPECT_EQ(p.numBlocks(), 4u);
+    EXPECT_EQ(p.function(0).body.size(), 2u);
+    EXPECT_EQ(p.function(0).rareAfter[0], 2);
+    EXPECT_EQ(p.function(0).rareAfter[1], -1);
+    EXPECT_TRUE(p.block(2).rare);
+    EXPECT_EQ(p.block(3).func, 1u);
+}
+
+TEST(ProgramIr, FunctionBytesIncludeRareBlocks)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.functionBytes(0), (8u + 8u + 16u) * 4);
+    EXPECT_EQ(p.functionBytes(1), 8u * 4);
+}
+
+TEST(ProgramIr, BlockBytesAreFourPerInstr)
+{
+    BasicBlock b;
+    b.instrs = 12;
+    EXPECT_EQ(b.bytes(), 48u);
+}
+
+// ---------------------------- Profile ------------------------------
+
+TEST(ProfileTest, RecordAndTotal)
+{
+    Profile prof(4);
+    prof.record(0);
+    prof.record(0);
+    prof.record(3);
+    EXPECT_EQ(prof.count(0), 2u);
+    EXPECT_EQ(prof.count(1), 0u);
+    EXPECT_EQ(prof.total(), 3u);
+    EXPECT_EQ(prof.count(99), 0u); // Out of range reads are zero.
+}
+
+TEST(ProfileTest, MergeAccumulates)
+{
+    Profile a(2), b(4);
+    a.record(0);
+    b.record(0);
+    b.record(3);
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 2u);
+    EXPECT_EQ(a.count(3), 1u);
+    EXPECT_EQ(a.size(), 4u);
+}
+
+// ------------------- Temperature classifier (Eq. 1/2) ---------------
+
+TEST(CountThreshold, PaperExample)
+{
+    // counts sorted desc: 50, 30, 15, 4, 1 (total 100).
+    std::vector<std::uint64_t> counts{4, 50, 1, 30, 15};
+    // 80th percentile: 50 + 30 = 80 >= 80 -> C_n = 30.
+    EXPECT_EQ(countThreshold(counts, 0.80), 30u);
+    // 99th percentile: 50+30+15+4 = 99 >= 99 -> C_n = 4.
+    EXPECT_EQ(countThreshold(counts, 0.99), 4u);
+    // 10th percentile: first counter crosses -> C_n = 50.
+    EXPECT_EQ(countThreshold(counts, 0.10), 50u);
+    // 100%: every non-zero counter needed -> C_n = min non-zero.
+    EXPECT_EQ(countThreshold(counts, 1.0), 1u);
+}
+
+TEST(CountThreshold, EmptyAndZeroProfiles)
+{
+    EXPECT_EQ(countThreshold({}, 0.99), 0u);
+    EXPECT_EQ(countThreshold({0, 0, 0}, 0.99), 0u);
+}
+
+TEST(CountThreshold, MonotoneInPercentile)
+{
+    std::vector<std::uint64_t> counts;
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        counts.push_back(i * i);
+    std::uint64_t prev = ~0ull;
+    for (double p : {0.1, 0.5, 0.9, 0.99, 0.9999, 1.0}) {
+        const auto thr = countThreshold(counts, p);
+        EXPECT_LE(thr, prev) << "threshold must fall as percentile "
+                                "rises (more code becomes hot)";
+        prev = thr;
+    }
+}
+
+TEST(Classifier, HotWarmColdPartition)
+{
+    Program p;
+    const auto hot_f = p.addFunction("hot", FuncKind::Handler);
+    const auto warm_f = p.addFunction("warm", FuncKind::Helper);
+    const auto cold_f = p.addFunction("cold", FuncKind::Cold);
+    BasicBlock b;
+    b.instrs = 8;
+    const auto hot_bb = p.addBodyBlock(hot_f, b);
+    const auto warm_bb = p.addBodyBlock(warm_f, b);
+    const auto cold_bb = p.addBodyBlock(cold_f, b);
+
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 10000; ++i)
+        prof.record(hot_bb);
+    for (int i = 0; i < 60; ++i)
+        prof.record(warm_bb);
+    prof.record(cold_bb);
+
+    ClassifierOptions opts; // 99% hot, 99.99% cold.
+    const auto cls = classifyTemperature(p, prof, opts);
+    EXPECT_EQ(cls.blockTemp[hot_bb], Temperature::Hot);
+    EXPECT_EQ(cls.blockTemp[warm_bb], Temperature::Warm);
+    EXPECT_EQ(cls.blockTemp[cold_bb], Temperature::Cold);
+    EXPECT_EQ(cls.funcTemp[hot_f], Temperature::Hot);
+    EXPECT_EQ(cls.funcTemp[warm_f], Temperature::Warm);
+    EXPECT_EQ(cls.funcTemp[cold_f], Temperature::Cold);
+}
+
+TEST(Classifier, NeverExecutedIsCold)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 100; ++i)
+        prof.record(0);
+    const auto cls = classifyTemperature(p, prof, ClassifierOptions());
+    EXPECT_EQ(cls.blockTemp[3], Temperature::Cold);
+    EXPECT_EQ(cls.funcTemp[1], Temperature::Cold);
+}
+
+TEST(Classifier, ExternalFunctionsStayUnclassified)
+{
+    Program p;
+    const auto ext = p.addFunction("plt", FuncKind::External);
+    BasicBlock b;
+    const auto ext_bb = p.addBodyBlock(ext, b);
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 1000; ++i)
+        prof.record(ext_bb); // Hot by execution, invisible to PGO.
+    const auto cls = classifyTemperature(p, prof, ClassifierOptions());
+    EXPECT_EQ(cls.blockTemp[ext_bb], Temperature::None);
+    EXPECT_EQ(cls.funcTemp[ext], Temperature::None);
+}
+
+TEST(Classifier, FunctionIsAsHotAsItsHottestBlock)
+{
+    Program p;
+    const auto f = p.addFunction("mixed", FuncKind::Handler);
+    BasicBlock b;
+    const auto bb0 = p.addBodyBlock(f, b);
+    const auto bb1 = p.addBodyBlock(f, b);
+    const auto g = p.addFunction("other", FuncKind::Helper);
+    const auto bb2 = p.addBodyBlock(g, b);
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 10000; ++i)
+        prof.record(bb0);
+    prof.record(bb1);
+    for (int i = 0; i < 50; ++i)
+        prof.record(bb2);
+    const auto cls = classifyTemperature(p, prof, ClassifierOptions());
+    EXPECT_EQ(cls.funcTemp[f], Temperature::Hot);
+    EXPECT_EQ(cls.funcCount[f], 10000u);
+}
+
+TEST(Classifier, Percentile100MarksAllExecutedHot)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 100; ++i)
+        prof.record(0);
+    prof.record(1);
+    ClassifierOptions opts;
+    opts.percentileHot = 1.0;
+    const auto cls = classifyTemperature(p, prof, opts);
+    EXPECT_EQ(cls.blockTemp[0], Temperature::Hot);
+    EXPECT_EQ(cls.blockTemp[1], Temperature::Hot);
+    EXPECT_EQ(cls.blockTemp[3], Temperature::Cold); // Unexecuted.
+}
+
+// ----------------------------- Layout -------------------------------
+
+Classification
+classify(const Program &p, const Profile &prof)
+{
+    return classifyTemperature(p, prof, ClassifierOptions());
+}
+
+TEST(Layout, NonPgoSingleTextInSourceOrder)
+{
+    Program p = tinyProgram();
+    const auto img = layoutProgram(p, nullptr, nullptr,
+                                   LayoutOptions());
+    ASSERT_EQ(img.sections.size(), 1u);
+    EXPECT_EQ(img.sections[0].name, ".text");
+    EXPECT_EQ(img.sections[0].temp, Temperature::None);
+    // Source order: f0 before f1; rare block inline after body[0].
+    EXPECT_LT(img.blockAddr[0], img.blockAddr[2]);
+    EXPECT_LT(img.blockAddr[2], img.blockAddr[1]);
+    EXPECT_LT(img.blockAddr[1], img.blockAddr[3]);
+    EXPECT_FALSE(img.pgo);
+}
+
+TEST(Layout, PgoSinksRareBlocksToFunctionEnd)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 100; ++i) {
+        prof.record(0);
+        prof.record(1);
+    }
+    prof.record(3);
+    const auto cls = classify(p, prof);
+    const auto img = layoutProgram(p, &cls, &prof, LayoutOptions());
+    // Fall-through chain: bb0, bb1 adjacent; rare bb2 after them.
+    EXPECT_EQ(img.blockAddr[1], img.blockAddr[0] + 32);
+    EXPECT_GT(img.blockAddr[2], img.blockAddr[1]);
+    EXPECT_TRUE(img.pgo);
+}
+
+TEST(Layout, PgoSectionsOrderedHotWarmCold)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0);
+    prof.record(3);
+    const auto cls = classify(p, prof);
+    const auto img = layoutProgram(p, &cls, &prof, LayoutOptions());
+    ASSERT_EQ(img.sections.size(), 3u);
+    EXPECT_EQ(img.sections[0].name, ".text.hot");
+    EXPECT_EQ(img.sections[1].name, ".text.warm");
+    EXPECT_EQ(img.sections[2].name, ".text.cold");
+    EXPECT_LE(img.sections[0].end(), img.sections[1].vaddr);
+    EXPECT_LE(img.sections[1].end(), img.sections[2].vaddr);
+}
+
+TEST(Layout, SectionTempLookupMatchesPlacement)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0);
+    // f1 never executes: cold.
+    const auto cls = classify(p, prof);
+    const auto img = layoutProgram(p, &cls, &prof, LayoutOptions());
+    EXPECT_EQ(img.sectionTempAt(img.blockAddr[0]), Temperature::Hot);
+    EXPECT_EQ(img.sectionTempAt(img.blockAddr[3]), Temperature::Cold);
+    EXPECT_EQ(img.sectionAt(0xdeadbeef00ull), nullptr);
+}
+
+TEST(Layout, HotFunctionsSortedByCount)
+{
+    Program p;
+    BasicBlock b;
+    b.instrs = 8;
+    const auto f0 = p.addFunction("f0", FuncKind::Handler);
+    const auto bb0 = p.addBodyBlock(f0, b);
+    const auto f1 = p.addFunction("f1", FuncKind::Handler);
+    const auto bb1 = p.addBodyBlock(f1, b);
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 100; ++i)
+        prof.record(bb0);
+    for (int i = 0; i < 1000; ++i)
+        prof.record(bb1);
+    const auto cls = classify(p, prof);
+    const auto img = layoutProgram(p, &cls, &prof, LayoutOptions());
+    // f1 is hotter: placed first despite source order.
+    EXPECT_LT(img.funcEntry[f1], img.funcEntry[f0]);
+}
+
+TEST(Layout, ExternalCodeInSeparateRegion)
+{
+    Program p = tinyProgram();
+    const auto ext = p.addFunction("plt", FuncKind::External);
+    BasicBlock b;
+    const auto ext_bb = p.addBodyBlock(ext, b);
+    LayoutOptions opts;
+    const auto img = layoutProgram(p, nullptr, nullptr, opts);
+    EXPECT_GE(img.blockAddr[ext_bb], opts.externalBase);
+    EXPECT_TRUE(img.isExternal(img.blockAddr[ext_bb]));
+    EXPECT_FALSE(img.isExternal(img.blockAddr[0]));
+}
+
+TEST(Layout, FunctionAlignmentRespected)
+{
+    Program p = tinyProgram();
+    LayoutOptions opts;
+    opts.functionAlign = 64;
+    const auto img = layoutProgram(p, nullptr, nullptr, opts);
+    for (const Addr entry : img.funcEntry)
+        EXPECT_EQ(entry % 64, 0u);
+}
+
+TEST(Layout, PadSectionsToPageAvoidsMixedPages)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0);
+    prof.record(3);
+    const auto cls = classify(p, prof);
+    LayoutOptions opts;
+    opts.padSectionsToPage = true;
+    opts.pageSize = 4096;
+    const auto img = layoutProgram(p, &cls, &prof, opts);
+    for (const auto &s : img.sections) {
+        if (!s.external) {
+            EXPECT_EQ(s.vaddr % 4096, 0u);
+        }
+    }
+    PageTable pt(4096);
+    const auto stats = loadImage(img, pt, MixedPagePolicy::DisableMark);
+    EXPECT_EQ(stats.mixedPages, 0u);
+}
+
+TEST(Layout, ExtraColdTextInflatesColdSection)
+{
+    Program p = tinyProgram();
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0);
+    const auto cls = classify(p, prof);
+    LayoutOptions opts;
+    opts.extraColdTextBytes = 1 << 20;
+    const auto img = layoutProgram(p, &cls, &prof, opts);
+    EXPECT_GE(img.textBytes(Temperature::Cold), 1u << 20);
+}
+
+TEST(Layout, BinarySizeIncludesExtraBytes)
+{
+    Program p = tinyProgram();
+    LayoutOptions opts;
+    opts.extraBinaryBytes = 12345;
+    const auto img = layoutProgram(p, nullptr, nullptr, opts);
+    EXPECT_EQ(img.binaryBytes, img.textBytes() + 12345);
+}
+
+// --------------------------- Page table -----------------------------
+
+TEST(PageTableTest, MapAndTranslate)
+{
+    PageTable pt(4096);
+    pt.map(0x400000, Temperature::Hot);
+    const auto tr = pt.translate(0x400123);
+    EXPECT_EQ(tr.paddr, 0x400123u); // Identity mapping.
+    EXPECT_EQ(tr.temp, Temperature::Hot);
+}
+
+TEST(PageTableTest, LazyMappingHasNoTemperature)
+{
+    PageTable pt(4096);
+    const auto tr = pt.translate(0x12345678);
+    EXPECT_EQ(tr.temp, Temperature::None);
+    EXPECT_EQ(pt.lazyMappedPages(), 1u);
+}
+
+TEST(PageTableTest, AttrBitsFitInTwoBits)
+{
+    PageTable pt(4096);
+    pt.map(0x1000, Temperature::Hot);
+    const Pte *pte = pt.lookup(0x1000);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_LE(pte->attrs, 3u);
+    EXPECT_EQ(pte->temp(), Temperature::Hot);
+}
+
+TEST(PageTableTest, PageGranularity)
+{
+    PageTable pt(16 * 1024);
+    pt.map(0x0, Temperature::Warm);
+    EXPECT_EQ(pt.translate(0x3fff).temp, Temperature::Warm);
+    EXPECT_EQ(pt.translate(0x4000).temp, Temperature::None);
+}
+
+TEST(PageTableDeath, RejectsBadPageSize)
+{
+    EXPECT_EXIT(PageTable pt(3000), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// ----------------------------- Loader -------------------------------
+
+ElfImage
+pgoImage(std::uint32_t page_size = 4096, bool pad = false)
+{
+    // Large functions so sections span several pages; the odd size
+    // keeps section boundaries off page boundaries.
+    Program p;
+    BasicBlock big;
+    big.instrs = 1034; // 4136 B per block.
+    const auto hot_f = p.addFunction("hot", FuncKind::Handler);
+    const auto hot_bb = p.addBodyBlock(hot_f, big);
+    const auto warm_f = p.addFunction("warm", FuncKind::Helper);
+    const auto warm_bb = p.addBodyBlock(warm_f, big);
+    const auto cold_f = p.addFunction("cold", FuncKind::Cold);
+    p.addBodyBlock(cold_f, big);
+    Profile prof(p.numBlocks());
+    for (int i = 0; i < 10000; ++i)
+        prof.record(hot_bb);
+    for (int i = 0; i < 60; ++i)
+        prof.record(warm_bb);
+    const auto cls = classifyTemperature(p, prof, ClassifierOptions());
+    LayoutOptions opts;
+    opts.padSectionsToPage = pad;
+    opts.pageSize = page_size;
+    return layoutProgram(p, &cls, &prof, opts);
+}
+
+TEST(Loader, MarksPurePagesWithSectionTemperature)
+{
+    const auto img = pgoImage(4096, true);
+    PageTable pt(4096);
+    const auto stats = loadImage(img, pt, MixedPagePolicy::DisableMark);
+    EXPECT_EQ(stats.mixedPages, 0u);
+    EXPECT_EQ(pt.translate(img.sections[0].vaddr).temp,
+              Temperature::Hot);
+    EXPECT_EQ(pt.translate(img.sections[1].vaddr).temp,
+              Temperature::Warm);
+}
+
+TEST(Loader, DisableMarkLeavesMixedPagesUntagged)
+{
+    const auto img = pgoImage(4096, false);
+    PageTable pt(4096);
+    const auto stats = loadImage(img, pt, MixedPagePolicy::DisableMark);
+    EXPECT_GE(stats.mixedPages, 1u);
+    // The page straddling .text.hot/.text.warm is untagged.
+    const Addr boundary = img.sections[1].vaddr;
+    EXPECT_EQ(pt.translate(boundary).temp, Temperature::None);
+}
+
+TEST(Loader, MarkDominantPicksMajorityBytes)
+{
+    const auto img = pgoImage(4096, false);
+    PageTable pt(4096);
+    loadImage(img, pt, MixedPagePolicy::MarkDominant);
+    const Addr boundary_page =
+        img.sections[1].vaddr & ~static_cast<Addr>(4095);
+    const auto tr = pt.translate(boundary_page);
+    EXPECT_NE(tr.temp, Temperature::None);
+}
+
+TEST(Loader, LargerPagesMixMore)
+{
+    // Paper section 4.9: bigger pages risk more mixed-temperature
+    // pages for the same layout.
+    const auto img = pgoImage(4096, false);
+    PageTable small(4096), big(16 * 1024);
+    const auto s4 = loadImage(img, small, MixedPagePolicy::DisableMark);
+    const auto s16 = loadImage(img, big, MixedPagePolicy::DisableMark);
+    const double mixed4 =
+        static_cast<double>(s4.mixedPages) / s4.codePages;
+    const double mixed16 =
+        static_cast<double>(s16.mixedPages) / s16.codePages;
+    EXPECT_GE(mixed16, mixed4);
+}
+
+TEST(Loader, ExternalPagesNeverTagged)
+{
+    Program p;
+    const auto ext = p.addFunction("lib", FuncKind::External);
+    BasicBlock big;
+    big.instrs = 1024;
+    const auto ext_bb = p.addBodyBlock(ext, big);
+    const auto img = layoutProgram(p, nullptr, nullptr,
+                                   LayoutOptions());
+    PageTable pt(4096);
+    loadImage(img, pt, MixedPagePolicy::MarkDominant);
+    EXPECT_EQ(pt.translate(img.blockAddr[ext_bb]).temp,
+              Temperature::None);
+}
+
+// ------------------------------ MMU --------------------------------
+
+TEST(MmuTest, TranslationStampsTemperature)
+{
+    PageTable pt(4096);
+    pt.map(0x400000, Temperature::Hot);
+    Mmu mmu(pt);
+    const auto r = mmu.translate(0x400040);
+    EXPECT_EQ(r.paddr, 0x400040u);
+    EXPECT_EQ(r.temp, Temperature::Hot);
+}
+
+TEST(MmuTest, TlbHitAfterMiss)
+{
+    PageTable pt(4096);
+    pt.map(0x400000, Temperature::Warm);
+    Mmu mmu(pt);
+    EXPECT_TRUE(mmu.translate(0x400000).tlbMiss);
+    EXPECT_FALSE(mmu.translate(0x400080).tlbMiss); // Same page.
+    EXPECT_EQ(mmu.stats().accesses, 2u);
+    EXPECT_EQ(mmu.stats().misses, 1u);
+}
+
+TEST(MmuTest, TlbConflictEviction)
+{
+    PageTable pt(4096);
+    Mmu mmu(pt, 2); // Two-entry direct-mapped TLB.
+    mmu.translate(0x0);
+    mmu.translate(2 * 4096); // Same TLB slot as page 0.
+    EXPECT_TRUE(mmu.translate(0x0).tlbMiss);
+}
+
+TEST(MmuTest, TemperatureCachedInTlb)
+{
+    PageTable pt(4096);
+    pt.map(0x400000, Temperature::Hot);
+    Mmu mmu(pt);
+    mmu.translate(0x400000);
+    EXPECT_EQ(mmu.translate(0x400100).temp, Temperature::Hot);
+}
+
+} // namespace
+} // namespace trrip
