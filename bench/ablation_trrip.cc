@@ -8,7 +8,8 @@
  *   3. page size sensitivity of the temperature interface;
  *   4. FDIP on/off (the paper's +1.4% claim for its pseudo-FDIP);
  *   5. profile robustness: training on the evaluation input
- *      (matched profile) vs the default differing input.
+ *      (matched profile) vs the default differing input;
+ *   6. TRRIP applied to the BTB (paper section 6 future work).
  */
 
 #include <cstdio>
@@ -20,119 +21,194 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
     const std::vector<std::string> benches{"python", "deepsjeng",
                                            "gcc", "sqlite"};
 
-    banner("Ablation 1: TRRIP variants, inst MPKI reduction (%)");
-    printHeader("benchmark", {"TRRIP-1", "TRRIP-2"});
-    for (const auto &name : benches) {
-        const CoDesignPipeline pipe(proxyParams(name));
-        const SimOptions opts = defaultOptions();
-        const auto base = pipe.run("SRRIP", opts);
-        std::vector<double> row;
-        for (const char *v : {"TRRIP-1", "TRRIP-2"})
-            row.push_back(CoDesignPipeline::reductionPercent(
-                base.result.l2InstMpki,
-                pipe.run(v, opts).result.l2InstMpki));
-        printRow(name, row);
+    {
+        ExperimentSpec spec;
+        spec.name = "ablation1_variants";
+        spec.title = "Ablation 1: TRRIP variants";
+        spec.workloads = benches;
+        spec.policies = {"SRRIP", "TRRIP-1", "TRRIP-2"};
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
+
+        banner("Ablation 1: TRRIP variants, inst MPKI reduction (%)");
+        printHeader("benchmark", {"TRRIP-1", "TRRIP-2"});
+        for (const auto &name : benches) {
+            const auto &base = results.result(name, "SRRIP");
+            std::vector<double> row;
+            for (const char *v : {"TRRIP-1", "TRRIP-2"})
+                row.push_back(CoDesignPipeline::reductionPercent(
+                    base.l2InstMpki,
+                    results.result(name, v).l2InstMpki));
+            printRow(name, row);
+        }
     }
 
-    banner("Ablation 2: mixed-page handling (TRRIP-1 speedup %)");
-    printHeader("benchmark", {"disable", "dominant", "padded"});
-    for (const auto &name : benches) {
-        const CoDesignPipeline pipe(proxyParams(name));
-        SimOptions opts = defaultOptions();
-        const auto base = pipe.run("SRRIP", opts);
-        std::vector<double> row;
-        opts.pagePolicy = MixedPagePolicy::DisableMark;
-        row.push_back(CoDesignPipeline::speedupPercent(
-            base.result, pipe.run("TRRIP-1", opts).result));
-        opts.pagePolicy = MixedPagePolicy::MarkDominant;
-        row.push_back(CoDesignPipeline::speedupPercent(
-            base.result, pipe.run("TRRIP-1", opts).result));
-        opts.pagePolicy = MixedPagePolicy::DisableMark;
-        opts.layout.padSectionsToPage = true;
-        row.push_back(CoDesignPipeline::speedupPercent(
-            base.result, pipe.run("TRRIP-1", opts).result));
-        printRow(name, row);
+    {
+        ExperimentSpec spec;
+        spec.name = "ablation2_mixed_pages";
+        spec.title = "Ablation 2: mixed-page handling";
+        spec.workloads = benches;
+        spec.policies = {"SRRIP", "TRRIP-1"};
+        spec.configs = {
+            {"disable", nullptr},
+            {"dominant",
+             [](SimOptions &o) {
+                 o.pagePolicy = MixedPagePolicy::MarkDominant;
+             }},
+            {"padded",
+             [](SimOptions &o) {
+                 o.layout.padSectionsToPage = true;
+             }},
+        };
+        // The SRRIP baseline is the default build (config 0).
+        spec.filter = [](const CellId &id) {
+            return id.policy != 0 || id.config == 0;
+        };
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
+
+        banner("Ablation 2: mixed-page handling (TRRIP-1 speedup %)");
+        printHeader("benchmark", {"disable", "dominant", "padded"});
+        for (const auto &name : benches) {
+            std::vector<double> row;
+            for (std::size_t c = 0; c < 3; ++c)
+                row.push_back(results.speedupPercent(
+                    name, "SRRIP", "TRRIP-1", c, 0));
+            printRow(name, row);
+        }
     }
 
-    banner("Ablation 3: page size of the temperature interface "
-           "(TRRIP-1 speedup %)");
-    printHeader("benchmark", {"4kB", "16kB", "2MB"});
-    for (const auto &name : benches) {
-        const CoDesignPipeline pipe(proxyParams(name));
-        std::vector<double> row;
+    {
+        ExperimentSpec spec;
+        spec.name = "ablation3_page_size";
+        spec.title = "Ablation 3: temperature-interface page size";
+        spec.workloads = benches;
+        spec.policies = {"SRRIP", "TRRIP-1"};
         for (const std::uint32_t page :
              {4096u, 16u * 1024, 2048u * 1024}) {
-            SimOptions opts = defaultOptions();
-            opts.pageSize = page;
-            const auto base = pipe.run("SRRIP", opts);
-            row.push_back(CoDesignPipeline::speedupPercent(
-                base.result, pipe.run("TRRIP-1", opts).result));
+            const std::string label =
+                page >= 1024 * 1024
+                    ? std::to_string(page / (1024 * 1024)) + "MB"
+                    : std::to_string(page / 1024) + "kB";
+            spec.configs.push_back({label, [page](SimOptions &o) {
+                                        o.pageSize = page;
+                                    }});
         }
-        printRow(name, row);
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
+
+        banner("Ablation 3: page size of the temperature interface "
+               "(TRRIP-1 speedup %)");
+        printHeader("benchmark", {"4kB", "16kB", "2MB"});
+        for (const auto &name : benches) {
+            std::vector<double> row;
+            for (std::size_t c = 0; c < 3; ++c)
+                row.push_back(results.speedupPercent(
+                    name, "SRRIP", "TRRIP-1", c, c));
+            printRow(name, row);
+        }
     }
 
-    banner("Ablation 4: pseudo-FDIP contribution (SRRIP speedup % "
-           "over no-FDIP)");
-    printHeader("benchmark", {"fdip-gain"});
-    std::vector<double> fdip_gains;
-    for (const auto &name : proxyNames()) {
-        const CoDesignPipeline pipe(proxyParams(name));
-        SimOptions opts = defaultOptions();
-        const auto with_fdip = pipe.run("SRRIP", opts);
-        opts.core.fdipEnabled = false;
-        const auto without = pipe.run("SRRIP", opts);
-        const double gain = CoDesignPipeline::speedupPercent(
-            without.result, with_fdip.result);
-        printRow(name, {gain});
-        fdip_gains.push_back(gain);
-    }
-    printRow("geomean", {geomeanPercent(fdip_gains)});
+    {
+        ExperimentSpec spec;
+        spec.name = "ablation4_fdip";
+        spec.title = "Ablation 4: pseudo-FDIP contribution";
+        spec.workloads = proxyNames();
+        spec.policies = {"SRRIP"};
+        spec.configs = {
+            {"fdip", nullptr},
+            {"nofdip",
+             [](SimOptions &o) { o.core.fdipEnabled = false; }},
+        };
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
 
-    banner("Ablation 5: profile input robustness (TRRIP-1 speedup %)");
-    printHeader("benchmark", {"diff-input", "same-input"});
-    for (const auto &name : benches) {
-        // Default: training uses a different seed/skew than eval.
-        WorkloadParams diff = proxyParams(name);
-        const CoDesignPipeline pipe_diff(diff);
-        const SimOptions opts = defaultOptions();
-        const auto base = pipe_diff.run("SRRIP", opts);
-        const double gain_diff = CoDesignPipeline::speedupPercent(
-            base.result, pipe_diff.run("TRRIP-1", opts).result);
-        // Matched profile: train on the evaluation input itself.
-        WorkloadParams same = diff;
-        same.trainSeed = same.seed;
-        same.trainZipfSkew = same.zipfSkew;
-        const CoDesignPipeline pipe_same(same);
-        const auto base2 = pipe_same.run("SRRIP", opts);
-        const double gain_same = CoDesignPipeline::speedupPercent(
-            base2.result, pipe_same.run("TRRIP-1", opts).result);
-        printRow(name, {gain_diff, gain_same});
+        banner("Ablation 4: pseudo-FDIP contribution (SRRIP speedup % "
+               "over no-FDIP)");
+        printHeader("benchmark", {"fdip-gain"});
+        std::vector<double> fdip_gains;
+        for (const auto &name : spec.workloads) {
+            const double gain = results.speedupPercent(
+                name, "SRRIP", "SRRIP", /*config=*/0,
+                /*baseline_config=*/1);
+            printRow(name, {gain});
+            fdip_gains.push_back(gain);
+        }
+        printRow("geomean", {geomeanPercent(fdip_gains)});
     }
 
-    banner("Ablation 6: TRRIP applied to the BTB (paper section 6 "
-           "future work)");
-    printHeader("benchmark", {"base-spd%", "btb-spd%", "btbMiss-%"});
-    for (const auto &name : benches) {
-        const CoDesignPipeline pipe(proxyParams(name));
-        SimOptions opts = defaultOptions();
-        const auto srrip = pipe.run("SRRIP", opts);
-        const auto base = pipe.run("TRRIP-1", opts);
-        opts.branch.trripBtb = true;
-        const auto with_btb = pipe.run("TRRIP-1", opts);
-        printRow(name,
-                 {CoDesignPipeline::speedupPercent(srrip.result,
-                                                   base.result),
-                  CoDesignPipeline::speedupPercent(srrip.result,
-                                                   with_btb.result),
-                  CoDesignPipeline::reductionPercent(
-                      static_cast<double>(base.result.branch.btbMisses),
-                      static_cast<double>(
-                          with_btb.result.branch.btbMisses))});
+    {
+        // Two workload-axis entries per benchmark: the default
+        // (training input differs from evaluation) and a matched
+        // variant training on the evaluation input itself.
+        ExperimentSpec spec;
+        spec.name = "ablation5_profile_input";
+        spec.title = "Ablation 5: profile input robustness";
+        for (const auto &name : benches) {
+            spec.workloads.push_back(name);
+            spec.workloads.push_back(name + "+same");
+        }
+        spec.paramsFor = [](const std::string &label) {
+            const auto plus = label.find("+same");
+            WorkloadParams params =
+                proxyParams(label.substr(0, plus));
+            if (plus != std::string::npos) {
+                params.trainSeed = params.seed;
+                params.trainZipfSkew = params.zipfSkew;
+            }
+            return params;
+        };
+        spec.policies = {"SRRIP", "TRRIP-1"};
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
+
+        banner("Ablation 5: profile input robustness "
+               "(TRRIP-1 speedup %)");
+        printHeader("benchmark", {"diff-input", "same-input"});
+        for (const auto &name : benches)
+            printRow(name,
+                     {results.speedupPercent(name, "SRRIP", "TRRIP-1"),
+                      results.speedupPercent(name + "+same", "SRRIP",
+                                             "TRRIP-1")});
+    }
+
+    {
+        ExperimentSpec spec;
+        spec.name = "ablation6_btb";
+        spec.title = "Ablation 6: TRRIP applied to the BTB";
+        spec.workloads = benches;
+        spec.policies = {"SRRIP", "TRRIP-1"};
+        spec.configs = {
+            {"base", nullptr},
+            {"btb",
+             [](SimOptions &o) { o.branch.trripBtb = true; }},
+        };
+        spec.filter = [](const CellId &id) {
+            return id.policy != 0 || id.config == 0;
+        };
+        spec.options = defaultOptions();
+        const auto results = runExperiment(spec);
+
+        banner("Ablation 6: TRRIP applied to the BTB (paper section 6 "
+               "future work)");
+        printHeader("benchmark", {"base-spd%", "btb-spd%", "btbMiss-%"});
+        for (const auto &name : benches) {
+            const auto &base = results.result(name, "TRRIP-1", 0);
+            const auto &with_btb = results.result(name, "TRRIP-1", 1);
+            printRow(
+                name,
+                {results.speedupPercent(name, "SRRIP", "TRRIP-1", 0, 0),
+                 results.speedupPercent(name, "SRRIP", "TRRIP-1", 1, 0),
+                 CoDesignPipeline::reductionPercent(
+                     static_cast<double>(base.branch.btbMisses),
+                     static_cast<double>(with_btb.branch.btbMisses))});
+        }
     }
 
     std::printf("\nTakeaways: the variants are near-equivalent "

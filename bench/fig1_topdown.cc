@@ -15,14 +15,22 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    banner("Figure 1: Top-Down breakdown of system software (PGO)");
+    ExperimentSpec spec;
+    spec.name = "fig1_topdown";
+    spec.title = "Figure 1: Top-Down breakdown of system software (PGO)";
+    spec.workloads = systemComponentNames();
+    spec.policies = {"SRRIP"};
+    spec.options = defaultOptions();
+    const auto results = runExperiment(spec);
+
+    banner(spec.title);
     printHeader("component", {"retire", "backend", "mispred.",
                               "frontend"});
-    for (const auto &name : systemComponentNames()) {
-        const auto art = run(name, "SRRIP", defaultOptions());
-        const TopDown &td = art.result.topdown;
+    for (const auto &name : spec.workloads) {
+        const TopDown &td = results.result(name, "SRRIP").topdown;
         // Fig. 1 folds the buckets into four groups: frontend =
         // ifetch, backend = depend+issue+mem+other.
         const double backend =

@@ -15,18 +15,30 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    banner("Figure 2: Top-Down of proxy benchmarks, non-PGO vs PGO(*)");
+    ExperimentSpec spec;
+    spec.name = "fig2_topdown_pgo";
+    spec.title =
+        "Figure 2: Top-Down of proxy benchmarks, non-PGO vs PGO(*)";
+    spec.workloads = proxyNames();
+    spec.policies = {"SRRIP"};
+    spec.configs = {
+        {"nopgo", [](SimOptions &o) { o.pgo = false; }},
+        {"pgo", [](SimOptions &o) { o.pgo = true; }},
+    };
+    spec.options = defaultOptions();
+    const auto results = runExperiment(spec);
+
+    banner(spec.title);
     printHeader("benchmark", {"retire", "other", "mem", "issue",
                               "depend", "mispred.", "ifetch"});
-    for (const auto &name : proxyNames()) {
-        for (const bool pgo : {false, true}) {
-            SimOptions opts = defaultOptions();
-            opts.pgo = pgo;
-            const auto art = run(name, "SRRIP", opts);
-            const TopDown &td = art.result.topdown;
-            printRow(name + (pgo ? "*" : ""),
+    for (const auto &name : spec.workloads) {
+        for (const std::size_t config : {0, 1}) {
+            const TopDown &td =
+                results.result(name, "SRRIP", config).topdown;
+            printRow(name + (config == 1 ? "*" : ""),
                      {td.fraction(td.retire), td.fraction(td.other),
                       td.fraction(td.mem), td.fraction(td.issue),
                       td.fraction(td.depend), td.fraction(td.mispred),

@@ -15,24 +15,38 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    banner("Figure 3: L2 reuse distance of hot lines "
-           "(fraction of accesses)");
+    ExperimentSpec spec;
+    spec.name = "fig3_reuse_distance";
+    spec.title = "Figure 3: L2 reuse distance of hot lines "
+                 "(fraction of accesses)";
+    spec.workloads = proxyNames();
+    spec.policies = {"SRRIP"};
+    spec.options = defaultOptions();
+    spec.hooks = [](SimOptions &opts, const CellId &) {
+        auto profiler =
+            std::make_shared<ReuseDistanceProfiler>(opts.hier.l2);
+        opts.reuse = profiler.get();
+        return profiler;
+    };
+    const auto results = runExperiment(spec);
+
+    banner(spec.title);
     printHeader("benchmark", {"0-4", "5-8", "9-16", "16+"});
-    for (const auto &name : proxyNames()) {
-        SimOptions opts = defaultOptions();
-        ReuseDistanceProfiler profiler(opts.hier.l2);
-        opts.reuse = &profiler;
-        run(name, "SRRIP", opts);
-        printRow(name, {profiler.base().fraction(0),
-                        profiler.base().fraction(1),
-                        profiler.base().fraction(2),
-                        profiler.base().fraction(3)});
-        printRow(name + "~", {profiler.hotOnly().fraction(0),
-                              profiler.hotOnly().fraction(1),
-                              profiler.hotOnly().fraction(2),
-                              profiler.hotOnly().fraction(3)});
+    for (const auto &name : spec.workloads) {
+        const auto *profiler =
+            results.at(name, "SRRIP")
+                .hookAs<ReuseDistanceProfiler>();
+        printRow(name, {profiler->base().fraction(0),
+                        profiler->base().fraction(1),
+                        profiler->base().fraction(2),
+                        profiler->base().fraction(3)});
+        printRow(name + "~", {profiler->hotOnly().fraction(0),
+                              profiler->hotOnly().fraction(1),
+                              profiler->hotOnly().fraction(2),
+                              profiler->hotOnly().fraction(3)});
     }
     std::printf("\nPaper: a large share of hot-line reuses sit at "
                 "distance 9+ (beyond 8-way retention), and the gap\n"

@@ -6,7 +6,6 @@
  */
 
 #include <cstdio>
-#include <map>
 
 #include "harness.hh"
 #include "util/stats.hh"
@@ -15,33 +14,39 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
     const std::vector<std::string> policies{
         "LRU",  "BRRIP",    "DRRIP",   "SHiP",
         "CLIP", "Emissary", "TRRIP-1", "TRRIP-2"};
 
-    banner("Figure 6: speedup (%) over SRRIP, L2 replacement");
-    printHeader("benchmark", policies);
+    ExperimentSpec spec;
+    spec.name = "fig6_speedup";
+    spec.title = "Figure 6: speedup (%) over SRRIP, L2 replacement";
+    spec.workloads = proxyNames();
+    spec.policies = {"SRRIP"};
+    spec.policies.insert(spec.policies.end(), policies.begin(),
+                         policies.end());
+    spec.options = defaultOptions();
+    const auto results = runExperiment(spec);
 
-    std::map<std::string, std::vector<double>> per_policy;
-    for (const auto &name : proxyNames()) {
-        const CoDesignPipeline pipeline(proxyParams(name));
-        const SimOptions opts = defaultOptions();
-        const auto base = pipeline.run("SRRIP", opts);
+    banner(spec.title);
+    printHeader("benchmark", policies);
+    std::vector<std::vector<double>> per_policy(policies.size());
+    for (const auto &name : spec.workloads) {
         std::vector<double> row;
-        for (const auto &policy : policies) {
-            const auto res = pipeline.run(policy, opts);
-            const double speedup = CoDesignPipeline::speedupPercent(
-                base.result, res.result);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const double speedup =
+                results.speedupPercent(name, "SRRIP", policies[p]);
             row.push_back(speedup);
-            per_policy[policy].push_back(speedup);
+            per_policy[p].push_back(speedup);
         }
         printRow(name, row);
     }
     std::vector<double> geo;
-    for (const auto &policy : policies)
-        geo.push_back(geomeanPercent(per_policy[policy]));
+    for (const auto &gains : per_policy)
+        geo.push_back(geomeanPercent(gains));
     printRow("geomean", geo);
 
     std::printf("\nPaper: TRRIP-1/2 lead with geomean +3.9%%; CLIP "

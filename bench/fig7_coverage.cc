@@ -15,6 +15,7 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
     const std::vector<double> percentiles{50, 60, 70, 80, 90};
@@ -22,22 +23,32 @@ main()
     for (double p : percentiles)
         cols.push_back(std::to_string(static_cast<int>(p)) + "%");
 
+    ExperimentSpec spec;
+    spec.name = "fig7_coverage";
+    spec.title = "Figure 7: costly-miss coverage by hot text";
+    spec.workloads = proxyNames();
+    spec.policies = {"TRRIP-1"};
+    spec.options = defaultOptions();
+    spec.hooks = [](SimOptions &opts, const CellId &) {
+        auto tracker = std::make_shared<CostlyMissTracker>();
+        opts.costly = tracker.get();
+        return tracker;
+    };
+    const auto results = runExperiment(spec);
+
     banner("Figure 7a: costly-miss coverage by hot text (%), "
            "all code");
     std::map<std::string, std::vector<double>> excl_rows;
     printHeader("benchmark", cols);
-    for (const auto &name : proxyNames()) {
-        SimOptions opts = defaultOptions();
-        CostlyMissTracker tracker;
-        opts.costly = &tracker;
-        const CoDesignPipeline pipeline(proxyParams(name));
-        const auto art = pipeline.run("TRRIP-1", opts);
+    for (const auto &name : spec.workloads) {
+        const auto &rec = results.at(name, "TRRIP-1");
+        const auto *tracker = rec.hookAs<CostlyMissTracker>();
         std::vector<double> incl, excl;
         for (double p : percentiles) {
-            incl.push_back(100.0 *
-                           tracker.hotCoverage(art.image, p, false));
-            excl.push_back(100.0 *
-                           tracker.hotCoverage(art.image, p, true));
+            incl.push_back(100.0 * tracker->hotCoverage(
+                                       rec.artifacts.image, p, false));
+            excl.push_back(100.0 * tracker->hotCoverage(
+                                       rec.artifacts.image, p, true));
         }
         printRow(name, incl);
         excl_rows[name] = excl;
@@ -45,7 +56,7 @@ main()
 
     banner("Figure 7b: coverage excluding external code (%)");
     printHeader("benchmark", cols);
-    for (const auto &name : proxyNames())
+    for (const auto &name : spec.workloads)
         printRow(name, excl_rows[name]);
 
     std::printf("\nPaper: external-heavy benchmarks (bullet, clamscan, "

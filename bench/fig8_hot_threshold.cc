@@ -15,34 +15,50 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    const std::vector<std::string> benches{
-        "abseil", "deepsjeng", "gcc", "omnetpp", "rapidjson", "sqlite"};
     const std::vector<double> thresholds{0.10, 0.80, 0.99, 0.9999,
                                          1.0};
     const std::vector<std::string> cols{"10%", "80%", "99%", "99.99%",
                                         "100%"};
 
+    ExperimentSpec spec;
+    spec.name = "fig8_hot_threshold";
+    spec.title = "Figure 8: Percentile_hot sensitivity";
+    spec.workloads = {"abseil", "deepsjeng", "gcc", "omnetpp",
+                      "rapidjson", "sqlite"};
+    spec.policies = {"SRRIP", "TRRIP-1"};
+    // Config 0 is the default-threshold baseline build (SRRIP only);
+    // configs 1..5 rebuild at each threshold (TRRIP-1 only).
+    spec.configs.push_back({"base", nullptr});
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const double pct = thresholds[i];
+        spec.configs.push_back({cols[i], [pct](SimOptions &o) {
+                                    o.classifier.percentileHot = pct;
+                                }});
+    }
+    spec.filter = [](const CellId &id) {
+        return id.policy == 0 ? id.config == 0 : id.config != 0;
+    };
+    spec.options = defaultOptions();
+    const auto results = runExperiment(spec);
+
     banner("Figure 8a: hot fraction of text section per "
            "Percentile_hot");
     printHeader("benchmark", cols);
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &name : benches) {
-        const CoDesignPipeline pipeline(proxyParams(name));
-        const SimOptions base_opts = defaultOptions();
-        const auto srrip = pipeline.run("SRRIP", base_opts);
+    for (const auto &name : spec.workloads) {
         std::vector<double> hot_frac, gain;
-        for (double pct : thresholds) {
-            SimOptions opts = base_opts;
-            opts.classifier.percentileHot = pct;
-            const auto art = pipeline.run("TRRIP-1", opts);
+        for (std::size_t c = 1; c <= thresholds.size(); ++c) {
+            const auto &art =
+                results.at(name, "TRRIP-1", c).artifacts;
             hot_frac.push_back(
                 static_cast<double>(
                     art.image.textBytes(Temperature::Hot)) /
                 static_cast<double>(art.image.textBytes()));
-            gain.push_back(CoDesignPipeline::speedupPercent(
-                srrip.result, art.result));
+            gain.push_back(
+                results.speedupPercent(name, "SRRIP", "TRRIP-1", c, 0));
         }
         printRow(name, hot_frac, 10, 4);
         speedups[name] = gain;
@@ -51,7 +67,7 @@ main()
     banner("Figure 8b: TRRIP-1 speedup (%) over SRRIP per "
            "Percentile_hot");
     printHeader("benchmark", cols);
-    for (const auto &name : benches)
+    for (const auto &name : spec.workloads)
         printRow(name, speedups[name]);
 
     std::printf("\nPaper: hot text grows slowly until ~99%% then "

@@ -15,49 +15,66 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    banner("Figure 9a: geomean speedup (%) vs SRRIP by L2 size");
-    printHeader("mechanism", {"128kB", "256kB", "512kB"});
     const std::vector<std::string> mechanisms{"TRRIP-1", "CLIP",
                                               "Emissary"};
-    std::map<std::string, std::vector<double>> rows;
-    for (const std::uint64_t kb : {128, 256, 512}) {
-        SimOptions opts = defaultOptions();
-        opts.hier.l2.sizeBytes = kb * 1024;
-        std::map<std::string, std::vector<double>> gains;
-        for (const auto &name : proxyNames()) {
-            const CoDesignPipeline pipeline(proxyParams(name));
-            const auto base = pipeline.run("SRRIP", opts);
-            for (const auto &m : mechanisms) {
-                const auto res = pipeline.run(m, opts);
-                gains[m].push_back(CoDesignPipeline::speedupPercent(
-                    base.result, res.result));
-            }
-        }
-        for (const auto &m : mechanisms)
-            rows[m].push_back(geomeanPercent(gains[m]));
-    }
-    for (const auto &m : mechanisms)
-        printRow(m, rows[m]);
 
-    banner("Figure 9b: TRRIP-1 speedup (%) by L2 associativity "
-           "(128 kB)");
+    ExperimentSpec size_spec;
+    size_spec.name = "fig9a_l2_size";
+    size_spec.title = "Figure 9a: geomean speedup (%) vs SRRIP by L2 "
+                      "size";
+    size_spec.workloads = proxyNames();
+    size_spec.policies = {"SRRIP"};
+    size_spec.policies.insert(size_spec.policies.end(),
+                              mechanisms.begin(), mechanisms.end());
+    for (const std::uint64_t kb : {128, 256, 512})
+        size_spec.configs.push_back(
+            {std::to_string(kb) + "kB", [kb](SimOptions &o) {
+                 o.hier.l2.sizeBytes = kb * 1024;
+             }});
+    size_spec.options = defaultOptions();
+    const auto by_size = runExperiment(size_spec);
+
+    banner(size_spec.title);
+    printHeader("mechanism", {"128kB", "256kB", "512kB"});
+    for (const auto &m : mechanisms) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < size_spec.configs.size(); ++c) {
+            std::vector<double> gains;
+            for (const auto &name : size_spec.workloads)
+                gains.push_back(
+                    by_size.speedupPercent(name, "SRRIP", m, c, c));
+            row.push_back(geomeanPercent(gains));
+        }
+        printRow(m, row);
+    }
+
+    ExperimentSpec assoc_spec;
+    assoc_spec.name = "fig9b_l2_assoc";
+    assoc_spec.title = "Figure 9b: TRRIP-1 speedup (%) by L2 "
+                       "associativity (128 kB)";
+    assoc_spec.workloads = proxyNames();
+    assoc_spec.policies = {"SRRIP", "TRRIP-1"};
+    for (const std::uint32_t assoc : {4, 8, 16})
+        assoc_spec.configs.push_back(
+            {std::to_string(assoc) + "-way", [assoc](SimOptions &o) {
+                 o.hier.l2.assoc = assoc;
+             }});
+    assoc_spec.options = defaultOptions();
+    const auto by_assoc = runExperiment(assoc_spec);
+
+    banner(assoc_spec.title);
     printHeader("benchmark", {"4-way", "8-way", "16-way"});
     std::vector<std::vector<double>> geomean_cols(3);
-    for (const auto &name : proxyNames()) {
-        const CoDesignPipeline pipeline(proxyParams(name));
+    for (const auto &name : assoc_spec.workloads) {
         std::vector<double> row;
-        int col = 0;
-        for (const std::uint32_t assoc : {4, 8, 16}) {
-            SimOptions opts = defaultOptions();
-            opts.hier.l2.assoc = assoc;
-            const auto base = pipeline.run("SRRIP", opts);
-            const auto res = pipeline.run("TRRIP-1", opts);
-            const double gain = CoDesignPipeline::speedupPercent(
-                base.result, res.result);
+        for (std::size_t c = 0; c < 3; ++c) {
+            const double gain =
+                by_assoc.speedupPercent(name, "SRRIP", "TRRIP-1", c, c);
             row.push_back(gain);
-            geomean_cols[col++].push_back(gain);
+            geomean_cols[c].push_back(gain);
         }
         printRow(name, row);
     }

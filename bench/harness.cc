@@ -1,8 +1,23 @@
 #include "harness.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace trrip::bench {
+
+namespace {
+
+bool
+envFlag(const char *name, bool default_value)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return default_value;
+    return std::strcmp(v, "0") != 0;
+}
+
+} // namespace
 
 SimOptions
 defaultOptions()
@@ -12,38 +27,46 @@ defaultOptions()
     return opts;
 }
 
-RunArtifacts
-run(const std::string &workload_name, const std::string &policy_name,
-    const SimOptions &options)
+std::vector<std::unique_ptr<exp::ResultSink>>
+standardSinks()
 {
-    const CoDesignPipeline pipeline(proxyParams(workload_name));
-    return pipeline.run(policy_name, options);
+    std::vector<std::unique_ptr<exp::ResultSink>> sinks;
+    if (envFlag("TRRIP_JSON", true))
+        sinks.push_back(std::make_unique<exp::JsonSink>());
+    if (envFlag("TRRIP_CSV", false))
+        sinks.push_back(std::make_unique<exp::CsvSink>());
+    if (envFlag("TRRIP_CELL_TABLE", false))
+        sinks.push_back(std::make_unique<exp::TableSink>());
+    return sinks;
 }
 
-void
-printHeader(const std::string &first,
-            const std::vector<std::string> &columns, int width)
+exp::ExperimentRunner &
+sharedRunner()
 {
-    std::printf("%-12s", first.c_str());
-    for (const auto &c : columns)
-        std::printf("%*s", width, c.c_str());
-    std::printf("\n");
+    static exp::ExperimentRunner runner;
+    return runner;
 }
 
-void
-printRow(const std::string &first, const std::vector<double> &values,
-         int width, int precision)
+exp::ExperimentResults
+runExperiment(const exp::ExperimentSpec &spec)
 {
-    std::printf("%-12s", first.c_str());
-    for (double v : values)
-        std::printf("%*.*f", width, precision, v);
-    std::printf("\n");
+    return runExperiment(spec, sharedRunner());
 }
 
-void
-banner(const std::string &title)
+exp::ExperimentResults
+runExperiment(const exp::ExperimentSpec &spec,
+              exp::ExperimentRunner &runner,
+              const std::vector<exp::ResultSink *> &extra_sinks)
 {
-    std::printf("\n=== %s ===\n", title.c_str());
+    const auto sinks = standardSinks();
+    std::vector<exp::ResultSink *> sink_ptrs;
+    for (const auto &s : sinks)
+        sink_ptrs.push_back(s.get());
+    sink_ptrs.insert(sink_ptrs.end(), extra_sinks.begin(),
+                     extra_sinks.end());
+    auto results = runner.run(spec, sink_ptrs);
+    exp::printRunSummary(results);
+    return results;
 }
 
 } // namespace trrip::bench

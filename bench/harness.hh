@@ -1,40 +1,54 @@
 /**
  * @file
- * Shared harness for the table/figure reproduction binaries: run
- * caching, fixed-width table printing, and the instruction budget
- * shared by every bench (env TRRIP_INSTR_MILLIONS).
+ * Thin shared layer for the table/figure reproduction binaries: the
+ * paper's Table 1 option defaults, standard sink construction, and a
+ * one-call wrapper running an ExperimentSpec on the shared runner.
+ * All looping, caching and parallelism lives in src/exp/.
  */
 
 #ifndef TRRIP_BENCH_HARNESS_HH
 #define TRRIP_BENCH_HARNESS_HH
 
-#include <string>
+#include <memory>
 #include <vector>
 
-#include "core/codesign.hh"
-#include "workloads/proxies.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
 
 namespace trrip::bench {
 
 /** Default SimOptions for bench runs (paper Table 1 configuration). */
 SimOptions defaultOptions();
 
-/** Run one (workload, policy) pair with the given options. */
-RunArtifacts run(const std::string &workload_name,
-                 const std::string &policy_name,
-                 const SimOptions &options);
+/**
+ * The standard sink set for a bench run: a JSON trajectory writer
+ * (disable with TRRIP_JSON=0), an opt-in CSV writer (TRRIP_CSV=1) and
+ * an opt-in raw per-cell table (TRRIP_CELL_TABLE=1).
+ */
+std::vector<std::unique_ptr<exp::ResultSink>>
+standardSinks();
 
-/** Print a table header row of right-aligned columns. */
-void printHeader(const std::string &first,
-                 const std::vector<std::string> &columns, int width = 10);
+/**
+ * The process-wide runner every bench shares, so the profile cache
+ * spans the multiple specs of one binary (fig9's two grids, the six
+ * ablations).
+ */
+exp::ExperimentRunner &sharedRunner();
 
-/** Print one table data row. */
-void printRow(const std::string &first,
-              const std::vector<double> &values, int width = 10,
-              int precision = 2);
+/**
+ * Run @p spec on a TRRIP_JOBS-wide runner with the standard sinks and
+ * print a one-line run summary (wall time, threads, profile cache).
+ */
+exp::ExperimentResults runExperiment(const exp::ExperimentSpec &spec);
 
-/** Print a centered banner naming the reproduced table/figure. */
-void banner(const std::string &title);
+/**
+ * Same, on a caller-supplied runner (e.g. a serial one for timing
+ * cells) and optional extra sinks fed alongside the standard set.
+ */
+exp::ExperimentResults
+runExperiment(const exp::ExperimentSpec &spec,
+              exp::ExperimentRunner &runner,
+              const std::vector<exp::ResultSink *> &extra_sinks = {});
 
 } // namespace trrip::bench
 

@@ -1,25 +1,27 @@
 /**
  * @file
- * google-benchmark microbenchmark: cost of one L2 access + fill
- * decision per replacement policy (simulator-side overhead; also a
- * proxy for the relative decision-logic complexity of each policy).
+ * Microbenchmark: cost of one L2 access + fill decision per
+ * replacement policy (simulator-side overhead; also a proxy for the
+ * relative decision-logic complexity of each policy).  Each policy is
+ * one experiment cell with a custom executor that times a deterministic
+ * 64k-request churn loop until it has run for ~50 ms.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
 
 #include "cache/cache.hh"
 #include "core/policy_factory.hh"
+#include "harness.hh"
 #include "util/rng.hh"
 
 namespace {
 
 using namespace trrip;
 
-void
-policyChurn(benchmark::State &state, const std::string &name)
+std::vector<MemRequest>
+churnRequests()
 {
-    const CacheGeometry geom{"L2", 128 * 1024, 8, 64};
-    Cache cache(geom, makePolicy(name, geom));
     Rng rng(42);
     std::vector<MemRequest> reqs;
     reqs.reserve(65536);
@@ -34,25 +36,63 @@ policyChurn(benchmark::State &state, const std::string &name)
         r.priority = rng.chance(0.1);
         reqs.push_back(r);
     }
-    std::size_t i = 0;
-    for (auto _ : state) {
-        const MemRequest &r = reqs[i++ & 65535];
-        if (!cache.access(r))
-            cache.fill(r);
-    }
-    state.SetItemsProcessed(state.iterations());
+    return reqs;
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(policyChurn, LRU, std::string("LRU"));
-BENCHMARK_CAPTURE(policyChurn, SRRIP, std::string("SRRIP"));
-BENCHMARK_CAPTURE(policyChurn, BRRIP, std::string("BRRIP"));
-BENCHMARK_CAPTURE(policyChurn, DRRIP, std::string("DRRIP"));
-BENCHMARK_CAPTURE(policyChurn, SHiP, std::string("SHiP"));
-BENCHMARK_CAPTURE(policyChurn, CLIP, std::string("CLIP"));
-BENCHMARK_CAPTURE(policyChurn, Emissary, std::string("Emissary"));
-BENCHMARK_CAPTURE(policyChurn, TRRIP_1, std::string("TRRIP-1"));
-BENCHMARK_CAPTURE(policyChurn, TRRIP_2, std::string("TRRIP-2"));
+int
+main()
+{
+    using namespace trrip::exp;
+    using namespace trrip::bench;
 
-BENCHMARK_MAIN();
+    ExperimentSpec spec;
+    spec.name = "micro_policy";
+    spec.title = "Microbenchmark: L2 access+fill cost per policy";
+    spec.workloads = {"churn"};
+    spec.policies = {"LRU",  "SRRIP",    "BRRIP",   "DRRIP",
+                     "SHiP", "CLIP",     "Emissary", "TRRIP-1",
+                     "TRRIP-2"};
+    spec.runCell = [](const CellContext &ctx) {
+        const CacheGeometry geom{"L2", 128 * 1024, 8, 64};
+        Cache cache(geom, makePolicy(ctx.policy, geom));
+        const auto reqs = churnRequests();
+
+        using clock = std::chrono::steady_clock;
+        std::size_t i = 0;
+        std::uint64_t accesses = 0;
+        double elapsed = 0.0;
+        // Batches of one full pass, until ~50 ms of measured work.
+        while (elapsed < 0.05) {
+            const auto t0 = clock::now();
+            for (std::size_t n = 0; n < reqs.size(); ++n) {
+                const MemRequest &r = reqs[i++ & 65535];
+                if (!cache.access(r))
+                    cache.fill(r);
+            }
+            elapsed +=
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+            accesses += reqs.size();
+        }
+        CellOutcome out;
+        out.metrics["accesses"] = static_cast<double>(accesses);
+        out.metrics["ns_per_access"] =
+            1e9 * elapsed / static_cast<double>(accesses);
+        return out;
+    };
+    // Timing cells must not compete for cores: force a serial runner
+    // instead of the TRRIP_JOBS-wide shared pool.
+    ExperimentRunner serial(1);
+    const auto results = runExperiment(spec, serial);
+
+    banner(spec.title);
+    printHeader("policy", {"ns/access", "Maccess/s"});
+    for (const auto &policy : spec.policies) {
+        const double ns =
+            results.at("churn", policy).metrics.at("ns_per_access");
+        printRow(policy, {ns, ns > 0.0 ? 1e3 / ns : 0.0});
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Generic grid sweep -- the scaffold future experiments plug into
+ * without writing a new binary.  The axes come from the environment:
+ *   TRRIP_SWEEP_WORKLOADS  comma list (default: all ten proxies)
+ *   TRRIP_SWEEP_POLICIES   comma list (default: the Fig. 6 set)
+ *   TRRIP_INSTR_MILLIONS   per-cell budget
+ *   TRRIP_JOBS             pool width
+ * Output: the per-cell metric table plus BENCH_sweep.json (and .csv
+ * with TRRIP_CSV=1), honoring the standard sink toggles.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include "harness.hh"
+
+namespace {
+
+std::vector<std::string>
+envList(const char *name, std::vector<std::string> fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    std::vector<std::string> out;
+    std::istringstream is(v);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out.empty() ? fallback : out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace trrip;
+    using namespace trrip::exp;
+    using namespace trrip::bench;
+
+    ExperimentSpec spec;
+    spec.name = "sweep";
+    spec.title = "Generic (workload x policy) sweep";
+    spec.workloads = envList("TRRIP_SWEEP_WORKLOADS", proxyNames());
+    spec.policies =
+        envList("TRRIP_SWEEP_POLICIES", evaluatedPolicyNames());
+    spec.options = defaultOptions();
+
+    // The per-cell table is this bench's primary output; JSON/CSV
+    // follow the standard TRRIP_JSON / TRRIP_CSV toggles.
+    TableSink table;
+    runExperiment(spec, sharedRunner(), {&table});
+    return 0;
+}

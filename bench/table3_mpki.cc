@@ -15,28 +15,28 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
     const std::vector<std::string> policies{
         "LRU",  "BRRIP",    "DRRIP",   "SHiP",
         "CLIP", "Emissary", "TRRIP-1", "TRRIP-2"};
-    const auto names = proxyNames();
-    const SimOptions opts = defaultOptions();
 
-    // Run everything once, keyed by (benchmark, policy).
-    std::map<std::string, std::map<std::string, SimResult>> results;
-    for (const auto &name : names) {
-        const CoDesignPipeline pipeline(proxyParams(name));
-        results[name]["SRRIP"] = pipeline.run("SRRIP", opts).result;
-        for (const auto &policy : policies)
-            results[name][policy] = pipeline.run(policy, opts).result;
-    }
+    ExperimentSpec spec;
+    spec.name = "table3_mpki";
+    spec.title = "Table 3: L2 MPKI vs SRRIP";
+    spec.workloads = proxyNames();
+    spec.policies = {"SRRIP"};
+    spec.policies.insert(spec.policies.end(), policies.begin(),
+                         policies.end());
+    spec.options = defaultOptions();
+    const auto results = runExperiment(spec);
 
     banner("Table 3: raw L2 MPKI of SRRIP");
     printHeader("benchmark", {"Inst.", "Data", "Inst/Data"});
     std::vector<double> inst_mpkis, data_mpkis;
-    for (const auto &name : names) {
-        const auto &r = results[name]["SRRIP"];
+    for (const auto &name : spec.workloads) {
+        const auto &r = results.result(name, "SRRIP");
         printRow(name, {r.l2InstMpki, r.l2DataMpki,
                         r.l2DataMpki > 0.0
                             ? r.l2InstMpki / r.l2DataMpki
@@ -53,11 +53,11 @@ main()
                " MPKI reduction (%) vs SRRIP");
         printHeader("benchmark", policies);
         std::map<std::string, std::vector<double>> per_policy;
-        for (const auto &name : names) {
-            const auto &base = results[name]["SRRIP"];
+        for (const auto &name : spec.workloads) {
+            const auto &base = results.result(name, "SRRIP");
             std::vector<double> row;
             for (const auto &policy : policies) {
-                const auto &r = results[name][policy];
+                const auto &r = results.result(name, policy);
                 const double red = CoDesignPipeline::reductionPercent(
                     inst ? base.l2InstMpki : base.l2DataMpki,
                     inst ? r.l2InstMpki : r.l2DataMpki);

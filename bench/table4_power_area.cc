@@ -2,30 +2,54 @@
  * @file
  * Reproduces paper Table 4: static power and area overheads of the
  * evaluated mechanisms relative to SRRIP, from the McPAT-lite model
- * (22nm-class, on-chip components only; the SLC is off-chip).
+ * (22nm-class, on-chip components only; the SLC is off-chip).  The
+ * cells are analytical (no simulation), expressed as a custom-executor
+ * experiment so the overheads land in BENCH_table4_power_area.json
+ * alongside the simulated trajectories.
  */
 
 #include <cstdio>
 
+#include "harness.hh"
 #include "power/mcpat_lite.hh"
 
 int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
+    using namespace trrip::bench;
 
     McPatLite model;
     const auto base = model.baseline();
-    std::printf("\n=== Table 4: static power and area overheads ===\n");
+
+    ExperimentSpec spec;
+    spec.name = "table4_power_area";
+    spec.title = "Table 4: static power and area overheads";
+    spec.workloads = {"onchip"};
+    for (const auto &row : model.table4())
+        spec.policies.push_back(row.name);
+    spec.runCell = [&model](const CellContext &ctx) {
+        const PolicyOverhead row = model.overhead(ctx.policy);
+        CellOutcome out;
+        out.metrics["extra_storage_bits"] =
+            static_cast<double>(row.extraStorageBits);
+        out.metrics["static_power_pct"] = row.staticPowerPct;
+        out.metrics["area_pct"] = row.areaPct;
+        return out;
+    };
+    const auto results = runExperiment(spec);
+
+    banner(spec.title);
     std::printf("baseline on-chip budget: %.2f mm^2, %.1f mW static\n\n",
                 base.areaMm2, base.staticMw);
     std::printf("%-12s %16s %12s %12s\n", "mechanism", "extra bits",
                 "power (%)", "area (%)");
-    for (const auto &row : model.table4()) {
-        std::printf("%-12s %16llu %12.1f %12.1f\n", row.name.c_str(),
-                    static_cast<unsigned long long>(
-                        row.extraStorageBits),
-                    row.staticPowerPct, row.areaPct);
+    for (const auto &name : spec.policies) {
+        const auto &m = results.at("onchip", name).metrics;
+        std::printf("%-12s %16.0f %12.1f %12.1f\n", name.c_str(),
+                    m.at("extra_storage_bits"),
+                    m.at("static_power_pct"), m.at("area_pct"));
     }
     std::printf("\nPaper: TRRIP ~0.0/~0.0, CLIP ~0.0/~0.0, Emissary "
                 "0.5/0.7, SHiP 1.7/3.0 (%% power / %% area).\n");

@@ -36,20 +36,28 @@ int
 main()
 {
     using namespace trrip;
+    using namespace trrip::exp;
     using namespace trrip::bench;
 
-    banner("Table 5: pages used (hot/warm) and binary size");
+    ExperimentSpec spec;
+    spec.name = "table5_pages";
+    spec.title = "Table 5: pages used (hot/warm) and binary size";
+    spec.workloads = proxyNames();
+    spec.policies = {"TRRIP-1"};
+    spec.options = defaultOptions();
+    // Static accounting only needs the profile + layout; keep the
+    // timed part minimal.
+    spec.options.maxInstructions = 200000;
+    const auto results = runExperiment(spec);
+
+    banner(spec.title);
     std::printf("%-12s %14s %14s %14s %12s\n", "benchmark",
                 "4kB pages", "16kB pages", "2MB pages", "binary");
-    for (const auto &name : proxyNames()) {
-        SimOptions opts = defaultOptions();
-        // Static accounting only needs the profile + layout; keep the
-        // timed part minimal.
-        opts.maxInstructions = 200000;
-        const auto art = run(name, "TRRIP-1", opts);
-        const auto p4 = countPages(art.image, 4096);
-        const auto p16 = countPages(art.image, 16 * 1024);
-        const auto p2m = countPages(art.image, 2 * 1024 * 1024);
+    for (const auto &name : spec.workloads) {
+        const auto &image = results.at(name, "TRRIP-1").artifacts.image;
+        const auto p4 = countPages(image, 4096);
+        const auto p16 = countPages(image, 16 * 1024);
+        const auto p2m = countPages(image, 2 * 1024 * 1024);
         char c4[32], c16[32], c2m[32];
         std::snprintf(c4, sizeof(c4), "%llu/%llu",
                       static_cast<unsigned long long>(p4.hotPages),
@@ -61,7 +69,7 @@ main()
                       static_cast<unsigned long long>(p2m.hotPages),
                       static_cast<unsigned long long>(p2m.warmPages));
         std::printf("%-12s %14s %14s %14s %12s\n", name.c_str(), c4,
-                    c16, c2m, human(art.image.binaryBytes).c_str());
+                    c16, c2m, human(image.binaryBytes).c_str());
     }
     std::printf("\nPaper: most pages hold a single temperature at "
                 "4/16 kB; 2 MB pages collapse hot and warm into a "

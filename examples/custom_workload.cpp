@@ -49,7 +49,7 @@ main()
                 pipeline.workload().program.numBlocks());
     std::printf("profile: %llu block executions "
                 "(hot threshold C_n = %llu)\n",
-                static_cast<unsigned long long>(art.profile.total()),
+                static_cast<unsigned long long>(art.profile->total()),
                 static_cast<unsigned long long>(
                     art.classification.hotCountThreshold));
 

@@ -9,6 +9,8 @@
 #ifndef TRRIP_CORE_CODESIGN_HH
 #define TRRIP_CORE_CODESIGN_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/policy_factory.hh"
@@ -40,24 +42,43 @@ class CoDesignPipeline
     run(const std::string &policy_name, const SimOptions &options) const
     {
         SimOptions opts = options;
-        const InstCount budget = opts.maxInstructions > 0
-                                     ? opts.maxInstructions
-                                     : defaultInstrBudget();
-        const InstCount prof_budget = opts.profileInstructions > 0
-                                          ? opts.profileInstructions
-                                          : budget;
-        if (!opts.precomputedProfile) {
-            // The profile depends only on (workload, budget): cache
-            // it across the policy sweep.
-            if (!cachedProfile_ || cachedBudget_ != prof_budget) {
-                cachedProfile_ = std::make_unique<Profile>(
-                    collectProfile(workload_, prof_budget));
-                cachedBudget_ = prof_budget;
-            }
-            opts.precomputedProfile = cachedProfile_.get();
-        }
+        if (!opts.precomputedProfile)
+            opts.precomputedProfile =
+                profile(resolveProfileBudget(opts));
         return runWorkload(workload_, policyMaker(policy_name), opts);
     }
+
+    /**
+     * Profile-reuse entry point: run with an externally cached
+     * training profile (see exp::ProfileCache), bypassing this
+     * pipeline's own per-budget cache entirely.
+     */
+    RunArtifacts
+    run(const std::string &policy_name, const SimOptions &options,
+        std::shared_ptr<const Profile> profile) const
+    {
+        SimOptions opts = options;
+        opts.precomputedProfile = std::move(profile);
+        return runWorkload(workload_, policyMaker(policy_name), opts);
+    }
+
+    /**
+     * The training profile for @p profile_instructions, collected on
+     * first use and shared (never copied) afterwards.  Thread-safe:
+     * concurrent callers for the same budget get the same Profile.
+     */
+    std::shared_ptr<const Profile>
+    profile(InstCount profile_instructions) const
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        if (!cachedProfile_ || cachedBudget_ != profile_instructions) {
+            cachedProfile_ = std::make_shared<const Profile>(
+                collectProfile(workload_, profile_instructions));
+            cachedBudget_ = profile_instructions;
+        }
+        return cachedProfile_;
+    }
+
 
     /**
      * Speedup of @p policy_name over @p baseline_name in percent
@@ -94,7 +115,8 @@ class CoDesignPipeline
 
   private:
     SyntheticWorkload workload_;
-    mutable std::unique_ptr<Profile> cachedProfile_;
+    mutable std::mutex profileMutex_;
+    mutable std::shared_ptr<const Profile> cachedProfile_;
     mutable InstCount cachedBudget_ = 0;
 };
 

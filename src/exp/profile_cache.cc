@@ -1,0 +1,58 @@
+#include "exp/profile_cache.hh"
+
+#include <sstream>
+
+namespace trrip::exp {
+
+std::string
+ProfileCache::key(const SyntheticWorkload &workload,
+                  InstCount profile_instructions)
+{
+    // collectProfile() runs the pre-PGO layout with the training seed
+    // and training skew for the given budget; the program itself is a
+    // deterministic function of the workload parameters, fingerprinted
+    // here by name + block/function counts (specs that mutate a
+    // workload's structure under the same name must rename it).
+    const WorkloadParams &p = workload.params;
+    std::ostringstream os;
+    os << p.name << '|' << p.trainSeed << '|' << p.trainZipfSkew << '|'
+       << profile_instructions << '|'
+       << workload.program.numFunctions() << '|'
+       << workload.program.numBlocks();
+    return os.str();
+}
+
+std::shared_ptr<const Profile>
+ProfileCache::get(const SyntheticWorkload &workload,
+                  InstCount profile_instructions)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[key(workload, profile_instructions)];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    bool collected = false;
+    std::call_once(entry->once, [&] {
+        entry->profile = std::make_shared<const Profile>(
+            collectProfile(workload, profile_instructions));
+        collected = true;
+        collections_.fetch_add(1);
+    });
+    if (!collected)
+        hits_.fetch_add(1);
+    return entry->profile;
+}
+
+void
+ProfileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    collections_.store(0);
+    hits_.store(0);
+}
+
+} // namespace trrip::exp

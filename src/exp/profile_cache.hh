@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Process-wide cache of PGO training profiles.
+ *
+ * A training profile depends only on (workload identity, training
+ * input, profile budget) -- not on the replacement policy or cache
+ * configuration under evaluation -- so a grid sweep needs exactly one
+ * instrumented run per workload, not one per cell.  The cache is
+ * thread-safe and collection is de-duplicated: concurrent requests for
+ * the same key block on one collection instead of racing to repeat it.
+ */
+
+#ifndef TRRIP_EXP_PROFILE_CACHE_HH
+#define TRRIP_EXP_PROFILE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace trrip::exp {
+
+/** Shared, de-duplicated collection of training profiles. */
+class ProfileCache
+{
+  public:
+    /**
+     * The training profile for @p workload at @p profile_instructions,
+     * collected on first use.  The key is the workload's name, its
+     * training input (seed and Zipf skew), its structural size, and
+     * the budget; everything else (policy, cache geometry, layout
+     * options) does not influence the instrumented run.
+     */
+    std::shared_ptr<const Profile>
+    get(const SyntheticWorkload &workload,
+        InstCount profile_instructions);
+
+    /** Instrumented runs actually executed (one per distinct key). */
+    std::uint64_t collections() const { return collections_.load(); }
+
+    /** Requests served from an already-collected profile. */
+    std::uint64_t hits() const { return hits_.load(); }
+
+    /** Drop all cached profiles and reset the counters. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const Profile> profile;
+    };
+
+    static std::string key(const SyntheticWorkload &workload,
+                           InstCount profile_instructions);
+
+    std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::atomic<std::uint64_t> collections_{0};
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace trrip::exp
+
+#endif // TRRIP_EXP_PROFILE_CACHE_HH

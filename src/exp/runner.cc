@@ -1,0 +1,303 @@
+#include "exp/runner.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "exp/sink.hh"
+#include "util/logging.hh"
+
+namespace trrip::exp {
+
+std::map<std::string, double>
+defaultMetrics(const SimResult &r)
+{
+    std::map<std::string, double> m;
+    m["instructions"] = static_cast<double>(r.instructions);
+    m["cycles"] = r.cycles;
+    m["ipc"] = r.ipc();
+    m["l2_inst_mpki"] = r.l2InstMpki;
+    m["l2_data_mpki"] = r.l2DataMpki;
+    m["l2_demand_misses"] = static_cast<double>(r.l2.demandMisses);
+    m["l2_hot_evictions"] = static_cast<double>(r.l2HotEvictions);
+    m["branch_mispredicts"] =
+        static_cast<double>(r.branch.mispredicts);
+    m["btb_misses"] = static_cast<double>(r.branch.btbMisses);
+    const TopDown &td = r.topdown;
+    m["td_retire"] = td.fraction(td.retire);
+    m["td_ifetch"] = td.fraction(td.ifetch);
+    m["td_mispred"] = td.fraction(td.mispred);
+    m["td_depend"] = td.fraction(td.depend);
+    m["td_issue"] = td.fraction(td.issue);
+    m["td_mem"] = td.fraction(td.mem);
+    m["td_other"] = td.fraction(td.other);
+    return m;
+}
+
+const CellRecord &
+ExperimentResults::at(std::size_t workload, std::size_t policy,
+                      std::size_t config) const
+{
+    const CellRecord &rec =
+        cells_.at(spec_.cellIndex(CellId{workload, policy, config}));
+    panic_if(!rec.valid, "cell (", rec.workload, ", ", rec.policy,
+             ", config ", config, ") was filtered out of experiment '",
+             spec_.name, "'");
+    return rec;
+}
+
+const CellRecord &
+ExperimentResults::at(const std::string &workload,
+                      const std::string &policy,
+                      std::size_t config) const
+{
+    const auto find = [](const std::vector<std::string> &axis,
+                         const std::string &label) {
+        for (std::size_t i = 0; i < axis.size(); ++i)
+            if (axis[i] == label)
+                return i;
+        panic("experiment axis has no entry '", label, "'");
+        return std::size_t(0);
+    };
+    return at(find(spec_.workloads, workload),
+              find(spec_.policies, policy), config);
+}
+
+unsigned
+ExperimentRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("TRRIP_JOBS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads) :
+    threads_(threads > 0 ? threads : defaultJobs())
+{}
+
+namespace {
+
+/**
+ * Per-worker deques of cell indices: owners pop their own front (grid
+ * order), thieves take from a victim's back.  Cells are striped
+ * round-robin at construction, so a balanced grid starts balanced and
+ * imbalanced cells (different budgets, skipped cells) migrate to idle
+ * workers.
+ */
+class StealQueues
+{
+  public:
+    StealQueues(std::size_t workers, const std::vector<std::size_t> &work)
+        : queues_(workers), mutexes_(workers)
+    {
+        for (std::size_t i = 0; i < work.size(); ++i)
+            queues_[i % workers].push_back(work[i]);
+    }
+
+    /** Pop for @p worker: own queue first, then steal from others. */
+    bool
+    pop(std::size_t worker, std::size_t &out)
+    {
+        if (popFrom(worker, out, /*steal=*/false))
+            return true;
+        for (std::size_t k = 1; k < queues_.size(); ++k) {
+            if (popFrom((worker + k) % queues_.size(), out,
+                        /*steal=*/true))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    bool
+    popFrom(std::size_t victim, std::size_t &out, bool steal)
+    {
+        std::lock_guard<std::mutex> lock(mutexes_[victim]);
+        auto &q = queues_[victim];
+        if (q.empty())
+            return false;
+        if (steal) {
+            out = q.back();
+            q.pop_back();
+        } else {
+            out = q.front();
+            q.pop_front();
+        }
+        return true;
+    }
+
+    std::vector<std::deque<std::size_t>> queues_;
+    std::vector<std::mutex> mutexes_;
+};
+
+} // namespace
+
+ExperimentResults
+ExperimentRunner::run(const ExperimentSpec &spec,
+                      const std::vector<ResultSink *> &sinks)
+{
+    // A single observer shared by every cell would be mutated from
+    // all worker threads at once (and would aggregate across cells
+    // even serially); per-cell instrumentation must come from hooks.
+    panic_if(spec.options.reuse || spec.options.costly,
+             "experiment '", spec.name,
+             "': attach observers via ExperimentSpec::hooks, not the "
+             "base options");
+
+    const auto params_for = spec.paramsFor
+                                ? spec.paramsFor
+                                : [](const std::string &name) {
+                                      return proxyParams(name);
+                                  };
+
+    const std::size_t n_cells = spec.cellCount();
+    std::vector<CellRecord> records(n_cells);
+
+    // Enumerate the live cells up front (deterministic order).
+    std::vector<std::size_t> live;
+    live.reserve(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        const CellId id = spec.cellIdAt(i);
+        CellRecord &rec = records[i];
+        rec.id = id;
+        rec.workload = spec.workloads[id.workload];
+        rec.policy = spec.policies[id.policy];
+        rec.config = spec.configLabel(id.config);
+        if (spec.filter && !spec.filter(id))
+            continue;
+        rec.valid = true;
+        live.push_back(i);
+    }
+
+    const std::uint64_t collections_before = profiles_.collections();
+    const std::uint64_t hits_before = profiles_.hits();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const unsigned n_workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, std::max<std::size_t>(
+                                            1, live.size())));
+
+    // Build each workload's pipeline exactly once.  Builds are
+    // independent, so stripe them across the same worker count.
+    // Custom-executor specs get no pipelines: their workload axis is
+    // free-form labels, not proxy names.
+    std::vector<std::unique_ptr<CoDesignPipeline>> pipelines(
+        spec.runCell ? 0 : spec.workloads.size());
+    if (!pipelines.empty()) {
+        std::vector<std::size_t> builds(pipelines.size());
+        for (std::size_t i = 0; i < builds.size(); ++i)
+            builds[i] = i;
+        StealQueues queues(n_workers, builds);
+        auto build_worker = [&](std::size_t worker) {
+            std::size_t w;
+            while (queues.pop(worker, w))
+                pipelines[w] = std::make_unique<CoDesignPipeline>(
+                    params_for(spec.workloads[w]));
+        };
+        std::vector<std::thread> threads;
+        for (unsigned t = 1; t < n_workers; ++t)
+            threads.emplace_back(build_worker, t);
+        build_worker(0);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    const auto run_cell = [&](std::size_t index) {
+        CellRecord &rec = records[index];
+        CellContext ctx;
+        ctx.id = rec.id;
+        ctx.workload = rec.workload;
+        ctx.policy = rec.policy;
+        ctx.config = rec.config;
+        ctx.options = spec.options;
+        if (!spec.configs.empty() && spec.configs[ctx.id.config].apply)
+            spec.configs[ctx.id.config].apply(ctx.options);
+        // Config mutators must not smuggle in a shared observer
+        // either (see the guard on the base options above).
+        panic_if(ctx.options.reuse || ctx.options.costly,
+                 "experiment '", spec.name,
+                 "': attach observers via ExperimentSpec::hooks, not "
+                 "a config mutator");
+        if (spec.hooks)
+            rec.hook = spec.hooks(ctx.options, ctx.id);
+        ctx.pipeline = pipelines.empty()
+                           ? nullptr
+                           : pipelines[ctx.id.workload].get();
+        ctx.profiles = &profiles_;
+
+        CellOutcome outcome;
+        if (spec.runCell) {
+            outcome = spec.runCell(ctx);
+        } else {
+            panic_if(!ctx.pipeline, "spec '", spec.name,
+                     "' has no workloads and no runCell");
+            std::shared_ptr<const Profile> profile =
+                ctx.options.precomputedProfile;
+            if (!profile) {
+                const InstCount budget =
+                    resolveProfileBudget(ctx.options);
+                // Without reuse every cell repeats its instrumented
+                // run (the no-cache worst case).
+                profile = reuseProfiles_
+                              ? profiles_.get(ctx.pipeline->workload(),
+                                              budget)
+                              : std::make_shared<const Profile>(
+                                    collectProfile(
+                                        ctx.pipeline->workload(),
+                                        budget));
+            }
+            outcome.artifacts =
+                ctx.pipeline->run(ctx.policy, ctx.options, profile);
+            outcome.metrics =
+                defaultMetrics(outcome.artifacts.result);
+        }
+        rec.artifacts = std::move(outcome.artifacts);
+        rec.metrics = std::move(outcome.metrics);
+    };
+
+    {
+        StealQueues queues(n_workers, live);
+        auto worker = [&](std::size_t worker_id) {
+            std::size_t index;
+            while (queues.pop(worker_id, index))
+                run_cell(index);
+        };
+        std::vector<std::thread> threads;
+        for (unsigned t = 1; t < n_workers; ++t)
+            threads.emplace_back(worker, t);
+        worker(0);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    ExperimentResults results(spec, std::move(records));
+    results.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    results.threadsUsed = n_workers;
+    results.profileCollections =
+        profiles_.collections() - collections_before;
+    results.profileHits = profiles_.hits() - hits_before;
+
+    // Sinks observe cells in deterministic index order, independent of
+    // the schedule the pool actually executed.
+    for (ResultSink *sink : sinks) {
+        if (!sink)
+            continue;
+        sink->begin(spec);
+        for (const CellRecord &rec : results.cells())
+            if (rec.valid)
+                sink->cell(rec);
+        sink->end(results);
+    }
+    return results;
+}
+
+} // namespace trrip::exp

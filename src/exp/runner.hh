@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parallel experiment execution.
+ *
+ * The runner expands an ExperimentSpec into cells, builds each
+ * workload's CoDesignPipeline exactly once, resolves each cell's
+ * training profile through a shared ProfileCache, and executes the
+ * cells on a work-stealing std::thread pool.  Results are stored by
+ * deterministic cell index and fed to the sinks in that order, so the
+ * output is bit-identical regardless of thread count or scheduling.
+ */
+
+#ifndef TRRIP_EXP_RUNNER_HH
+#define TRRIP_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exp/profile_cache.hh"
+#include "exp/spec.hh"
+
+namespace trrip::exp {
+
+class ResultSink;
+
+/** Everything one grid run produced, indexable by axis. */
+class ExperimentResults
+{
+  public:
+    ExperimentResults(const ExperimentSpec &spec,
+                      std::vector<CellRecord> cells) :
+        spec_(spec), cells_(std::move(cells))
+    {}
+
+    const ExperimentSpec &spec() const { return spec_; }
+    const std::vector<CellRecord> &cells() const { return cells_; }
+
+    /** Record by axis indices (workload, policy, config); fatal for
+     *  cells the spec's filter skipped (their results are empty). */
+    const CellRecord &
+    at(std::size_t workload, std::size_t policy,
+       std::size_t config = 0) const;
+
+    /** Record by axis labels. */
+    const CellRecord &at(const std::string &workload,
+                         const std::string &policy,
+                         std::size_t config = 0) const;
+
+    const SimResult &
+    result(const std::string &workload, const std::string &policy,
+           std::size_t config = 0) const
+    {
+        return at(workload, policy, config).result();
+    }
+
+    /** Fig. 6-style speedup of @p policy over @p baseline (percent). */
+    double
+    speedupPercent(const std::string &workload,
+                   const std::string &baseline,
+                   const std::string &policy, std::size_t config = 0,
+                   std::size_t baseline_config = 0) const
+    {
+        return CoDesignPipeline::speedupPercent(
+            result(workload, baseline, baseline_config),
+            result(workload, policy, config));
+    }
+
+    double wallSeconds = 0.0;      //!< Grid execution wall time.
+    unsigned threadsUsed = 1;
+    std::uint64_t profileCollections = 0; //!< Cache fills this run.
+    std::uint64_t profileHits = 0;        //!< Cache hits this run.
+
+  private:
+    ExperimentSpec spec_;
+    std::vector<CellRecord> cells_;
+};
+
+/** Work-stealing executor for experiment grids. */
+class ExperimentRunner
+{
+  public:
+    /** @p threads = 0 means TRRIP_JOBS from the environment, else the
+     *  hardware concurrency. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    /** Run @p spec; sinks (may be empty) are fed in cell order. */
+    ExperimentResults run(const ExperimentSpec &spec,
+                          const std::vector<ResultSink *> &sinks = {});
+
+    /** The shared profile cache (persists across run() calls). */
+    ProfileCache &profiles() { return profiles_; }
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Disable training-profile reuse (every cell re-collects its own
+     * profile, the worst case) -- used by the scaling bench to
+     * quantify what the cache buys.
+     */
+    void setProfileReuse(bool enabled) { reuseProfiles_ = enabled; }
+
+    /** TRRIP_JOBS from the environment, else hardware concurrency. */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned threads_;
+    bool reuseProfiles_ = true;
+    ProfileCache profiles_;
+};
+
+} // namespace trrip::exp
+
+#endif // TRRIP_EXP_RUNNER_HH

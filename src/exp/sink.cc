@@ -1,0 +1,251 @@
+#include "exp/sink.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace trrip::exp {
+
+std::string
+defaultSinkPath(const std::string &stem, const std::string &ext)
+{
+    const char *dir = std::getenv("TRRIP_RESULTS_DIR");
+    std::string path = dir && *dir ? dir : ".";
+    if (path.back() != '/')
+        path += '/';
+    return path + "BENCH_" + stem + "." + ext;
+}
+
+// --------------------------------------------------------------- tables
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void
+printHeader(const std::string &first,
+            const std::vector<std::string> &columns, int width)
+{
+    std::printf("%-12s", first.c_str());
+    for (const auto &c : columns)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &first, const std::vector<double> &values,
+         int width, int precision)
+{
+    std::printf("%-12s", first.c_str());
+    for (double v : values)
+        std::printf("%*.*f", width, precision, v);
+    std::printf("\n");
+}
+
+TableSink::TableSink(std::vector<std::string> metrics) :
+    metrics_(std::move(metrics))
+{
+    if (metrics_.empty())
+        metrics_ = {"cycles", "ipc", "l2_inst_mpki", "l2_data_mpki"};
+}
+
+void
+TableSink::begin(const ExperimentSpec &spec)
+{
+    banner(spec.title.empty() ? spec.name : spec.title);
+    std::vector<std::string> cols{"policy", "config"};
+    cols.insert(cols.end(), metrics_.begin(), metrics_.end());
+    printHeader("workload", cols, 14);
+}
+
+void
+TableSink::cell(const CellRecord &record)
+{
+    std::printf("%-12s%14s%14s", record.workload.c_str(),
+                record.policy.c_str(), record.config.c_str());
+    for (const auto &name : metrics_) {
+        const auto it = record.metrics.find(name);
+        if (it == record.metrics.end())
+            std::printf("%14s", "-");
+        else
+            std::printf("%14.3f", it->second);
+    }
+    std::printf("\n");
+}
+
+void
+printRunSummary(const ExperimentResults &results)
+{
+    std::size_t live = 0;
+    for (const auto &rec : results.cells())
+        live += rec.valid ? 1 : 0;
+    std::printf("[%s] %zu cells on %u threads in %.2fs; profile "
+                "cache: %llu collections, %llu hits\n",
+                results.spec().name.c_str(), live,
+                results.threadsUsed, results.wallSeconds,
+                static_cast<unsigned long long>(
+                    results.profileCollections),
+                static_cast<unsigned long long>(results.profileHits));
+}
+
+// ----------------------------------------------------------------- JSON
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+writeStringArray(std::ofstream &out, const char *key,
+                 const std::vector<std::string> &values)
+{
+    out << "  \"" << key << "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(values[i]) << '"';
+    out << "],\n";
+}
+
+} // namespace
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+void
+JsonSink::begin(const ExperimentSpec &spec)
+{
+    if (path_.empty())
+        path_ = defaultSinkPath(spec.name, "json");
+    out_.open(path_);
+    if (!out_) {
+        warn("JsonSink: cannot open ", path_);
+        return;
+    }
+    firstCell_ = true;
+    std::vector<std::string> configs;
+    for (std::size_t c = 0; c < spec.configCount(); ++c)
+        configs.push_back(spec.configLabel(c));
+    out_ << "{\n  \"experiment\": \"" << jsonEscape(spec.name)
+         << "\",\n  \"title\": \"" << jsonEscape(spec.title) << "\",\n";
+    writeStringArray(out_, "workloads", spec.workloads);
+    writeStringArray(out_, "policies", spec.policies);
+    writeStringArray(out_, "configs", configs);
+    out_ << "  \"cells\": [";
+}
+
+void
+JsonSink::cell(const CellRecord &record)
+{
+    if (!out_)
+        return;
+    out_ << (firstCell_ ? "\n" : ",\n");
+    firstCell_ = false;
+    out_ << "    {\"workload\": \"" << jsonEscape(record.workload)
+         << "\", \"policy\": \"" << jsonEscape(record.policy)
+         << "\", \"config\": \"" << jsonEscape(record.config)
+         << "\", \"metrics\": {";
+    bool first = true;
+    for (const auto &[name, value] : record.metrics) {
+        out_ << (first ? "" : ", ") << '"' << jsonEscape(name)
+             << "\": " << jsonNumber(value);
+        first = false;
+    }
+    out_ << "}}";
+}
+
+void
+JsonSink::end(const ExperimentResults &results)
+{
+    if (!out_)
+        return;
+    out_ << "\n  ],\n  \"wall_seconds\": "
+         << jsonNumber(results.wallSeconds)
+         << ",\n  \"threads\": " << results.threadsUsed
+         << ",\n  \"profile_collections\": "
+         << results.profileCollections
+         << ",\n  \"profile_hits\": " << results.profileHits << "\n}\n";
+    out_.close();
+    inform("wrote ", path_);
+}
+
+// ------------------------------------------------------------------ CSV
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+
+void
+CsvSink::begin(const ExperimentSpec &spec)
+{
+    if (path_.empty())
+        path_ = defaultSinkPath(spec.name, "csv");
+    rows_.clear();
+}
+
+void
+CsvSink::cell(const CellRecord &record)
+{
+    CellRecord copy;
+    copy.workload = record.workload;
+    copy.policy = record.policy;
+    copy.config = record.config;
+    copy.metrics = record.metrics;
+    rows_.push_back(std::move(copy));
+}
+
+void
+CsvSink::end(const ExperimentResults &)
+{
+    out_.open(path_);
+    if (!out_) {
+        warn("CsvSink: cannot open ", path_);
+        return;
+    }
+    std::set<std::string> columns;
+    for (const auto &row : rows_)
+        for (const auto &[name, _] : row.metrics)
+            columns.insert(name);
+    out_ << "workload,policy,config";
+    for (const auto &c : columns)
+        out_ << ',' << c;
+    out_ << '\n';
+    for (const auto &row : rows_) {
+        out_ << row.workload << ',' << row.policy << ',' << row.config;
+        for (const auto &c : columns) {
+            const auto it = row.metrics.find(c);
+            out_ << ',';
+            if (it != row.metrics.end())
+                out_ << jsonNumber(it->second);
+        }
+        out_ << '\n';
+    }
+    out_.close();
+    inform("wrote ", path_);
+}
+
+} // namespace trrip::exp

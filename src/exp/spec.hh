@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Declarative description of one experiment grid.
+ *
+ * The paper's evaluation (Figs. 6-9, Tables 3-5) is a family of
+ * (workload x policy x configuration) sweeps.  An ExperimentSpec names
+ * the three axes once; the ExperimentRunner expands them into cells,
+ * executes the cells on a thread pool with a shared ProfileCache, and
+ * hands the records to pluggable ResultSinks in deterministic order.
+ */
+
+#ifndef TRRIP_EXP_SPEC_HH
+#define TRRIP_EXP_SPEC_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codesign.hh"
+#include "workloads/proxies.hh"
+
+namespace trrip::exp {
+
+class ProfileCache;
+
+/** Position of one cell in the (workload, policy, config) grid. */
+struct CellId
+{
+    std::size_t workload = 0;
+    std::size_t policy = 0;
+    std::size_t config = 0;
+};
+
+/** A named variant of the base SimOptions (one config-axis point). */
+struct ConfigVariant
+{
+    std::string label;
+    std::function<void(SimOptions &)> apply; //!< May be null (= base).
+};
+
+/** What executing one cell produces. */
+struct CellOutcome
+{
+    RunArtifacts artifacts;
+    /** Machine-readable metrics for the JSON/CSV sinks. */
+    std::map<std::string, double> metrics;
+};
+
+/** Everything a cell executor may need. */
+struct CellContext
+{
+    CellId id;
+    std::string workload;   //!< Axis labels, resolved.
+    std::string policy;
+    std::string config;
+    SimOptions options;     //!< Base options + config variant applied.
+    /** The shared per-workload pipeline (null when the spec declares
+     *  no workloads and a custom runCell synthesizes its own cells). */
+    const CoDesignPipeline *pipeline = nullptr;
+    ProfileCache *profiles = nullptr;
+};
+
+/** One experiment grid. */
+struct ExperimentSpec
+{
+    /** File-name stem for machine-readable sinks (BENCH_<name>.json). */
+    std::string name = "experiment";
+    /** Human-readable banner, e.g. the paper figure being reproduced. */
+    std::string title;
+
+    std::vector<std::string> workloads;
+    std::vector<std::string> policies;
+    /** Option variants; empty means one implicit base config. */
+    std::vector<ConfigVariant> configs;
+
+    /** Base options every cell starts from. */
+    SimOptions options;
+
+    /** Workload-name -> parameters; defaults to proxyParams(). */
+    std::function<WorkloadParams(const std::string &)> paramsFor;
+
+    /**
+     * Optional per-cell instrumentation factory: attach caller-owned
+     * hooks (ReuseDistanceProfiler, CostlyMissTracker, ...) to the
+     * cell's options and return the owning handle, which the runner
+     * keeps alive in the CellRecord for post-run inspection.
+     */
+    std::function<std::shared_ptr<void>(SimOptions &, const CellId &)>
+        hooks;
+
+    /** Optional predicate: return false to skip a cell entirely. */
+    std::function<bool(const CellId &)> filter;
+
+    /**
+     * Optional custom executor replacing the default profile-cached
+     * simulation run (used by cells that are not simulations, e.g. the
+     * McPAT table or the policy-churn microbenchmark).
+     */
+    std::function<CellOutcome(const CellContext &)> runCell;
+
+    std::size_t
+    configCount() const
+    {
+        return configs.empty() ? 1 : configs.size();
+    }
+
+    std::size_t
+    cellCount() const
+    {
+        return workloads.size() * policies.size() * configCount();
+    }
+
+    /** Deterministic linear index of a cell (workload-major). */
+    std::size_t
+    cellIndex(const CellId &id) const
+    {
+        return (id.workload * policies.size() + id.policy) *
+                   configCount() +
+               id.config;
+    }
+
+    CellId
+    cellIdAt(std::size_t index) const
+    {
+        CellId id;
+        id.config = index % configCount();
+        index /= configCount();
+        id.policy = index % policies.size();
+        id.workload = index / policies.size();
+        return id;
+    }
+
+    std::string
+    configLabel(std::size_t config) const
+    {
+        return configs.empty() ? std::string() : configs[config].label;
+    }
+};
+
+/** The record the runner keeps per cell and feeds to the sinks. */
+struct CellRecord
+{
+    CellId id;
+    bool valid = false; //!< False for cells the spec filtered out.
+    std::string workload;
+    std::string policy;
+    std::string config;
+    RunArtifacts artifacts;
+    std::map<std::string, double> metrics;
+    /** Instrumentation handle from ExperimentSpec::hooks, if any. */
+    std::shared_ptr<void> hook;
+
+    const SimResult &result() const { return artifacts.result; }
+
+    /** The hook, downcast to the type the spec installed. */
+    template <typename T>
+    T *
+    hookAs() const
+    {
+        return static_cast<T *>(hook.get());
+    }
+};
+
+/** Default metrics extracted from a simulation cell. */
+std::map<std::string, double> defaultMetrics(const SimResult &result);
+
+} // namespace trrip::exp
+
+#endif // TRRIP_EXP_SPEC_HH

@@ -42,6 +42,24 @@ collectProfile(const SyntheticWorkload &workload,
     return profile;
 }
 
+InstCount
+resolveBudget(const SimOptions &options)
+{
+    return options.maxInstructions > 0 ? options.maxInstructions
+                                       : defaultInstrBudget();
+}
+
+InstCount
+resolveProfileBudget(const SimOptions &options)
+{
+    // PGO profiles need comparable coverage to the evaluation run or
+    // the tail of the count distribution degenerates (every executed
+    // block looks equally rare); default to the evaluation budget.
+    return options.profileInstructions > 0
+               ? options.profileInstructions
+               : resolveBudget(options);
+}
+
 RunArtifacts
 runWorkload(const SyntheticWorkload &workload,
             const L2PolicyMaker &make_policy, const SimOptions &options)
@@ -49,21 +67,17 @@ runWorkload(const SyntheticWorkload &workload,
     panic_if(!make_policy, "runWorkload needs a policy maker");
     RunArtifacts art;
 
-    const InstCount budget = options.maxInstructions > 0
-                                 ? options.maxInstructions
-                                 : defaultInstrBudget();
-    // PGO profiles need comparable coverage to the evaluation run or
-    // the tail of the count distribution degenerates (every executed
-    // block looks equally rare); default to the evaluation budget.
-    const InstCount profile_budget =
-        options.profileInstructions > 0 ? options.profileInstructions
-                                        : budget;
+    const InstCount budget = resolveBudget(options);
+    const InstCount profile_budget = resolveProfileBudget(options);
 
-    // (2)-(3) Instrumented run producing the profile.
+    // (2)-(3) Instrumented run producing the profile.  A precomputed
+    // profile is shared by reference, not copied: a policy sweep keeps
+    // one immutable Profile alive across all of its runs.
     if (options.precomputedProfile)
-        art.profile = *options.precomputedProfile;
+        art.profile = options.precomputedProfile;
     else
-        art.profile = collectProfile(workload, profile_budget);
+        art.profile = std::make_shared<Profile>(
+            collectProfile(workload, profile_budget));
 
     // (4)-(5) Re-optimization: classify temperature, lay out ELF2.
     LayoutOptions layout_opts = options.layout;
@@ -72,10 +86,10 @@ runWorkload(const SyntheticWorkload &workload,
     layout_opts.extraBinaryBytes = workload.params.extraBinaryBytes;
     if (options.pgo) {
         art.classification = classifyTemperature(
-            workload.program, art.profile, options.classifier);
+            workload.program, *art.profile, options.classifier);
         art.image = layoutProgram(workload.program,
-                                  &art.classification, &art.profile,
-                                  layout_opts);
+                                  &art.classification,
+                                  art.profile.get(), layout_opts);
     } else {
         art.image = layoutProgram(workload.program, nullptr, nullptr,
                                   layout_opts);

@@ -50,16 +50,18 @@ struct SimOptions
 
     /**
      * Optional precomputed training profile (the profile depends only
-     * on the workload and profile budget, so pipelines cache it
-     * across policy runs).
+     * on the workload and profile budget, so pipelines cache it across
+     * policy runs).  Shared, never deep-copied: concurrent runs of the
+     * same workload all reference one immutable Profile.
      */
-    const Profile *precomputedProfile = nullptr;
+    std::shared_ptr<const Profile> precomputedProfile;
 };
 
 /** Everything one run produces, including the software artifacts. */
 struct RunArtifacts
 {
-    Profile profile;
+    /** The training profile used (shared when precomputed). */
+    std::shared_ptr<const Profile> profile;
     Classification classification;
     ElfImage image;
     LoadStats loadStats;
@@ -72,6 +74,16 @@ struct RunArtifacts
  * 400M per benchmark on a cluster; this is the laptop-scale default).
  */
 InstCount defaultInstrBudget();
+
+/** The evaluation budget @p options resolves to. */
+InstCount resolveBudget(const SimOptions &options);
+
+/**
+ * The training budget @p options resolves to (paper Fig. 4 step 2).
+ * This is the single source of the fallback rule: profile caches key
+ * on it and runWorkload() collects with it.
+ */
+InstCount resolveProfileBudget(const SimOptions &options);
 
 /**
  * Run the instrumentation (training) execution and collect the PGO

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the experiment-orchestration layer: runner determinism
+ * across thread counts, profile-cache de-duplication, cell filtering,
+ * custom executors, and the machine-readable sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "workloads/builder.hh"
+
+namespace trrip {
+namespace {
+
+exp::ExperimentSpec
+tinySpec()
+{
+    exp::ExperimentSpec spec;
+    spec.name = "test_grid";
+    spec.workloads = {"python", "deepsjeng"};
+    spec.policies = {"SRRIP", "TRRIP-1", "CLIP"};
+    spec.options.maxInstructions = 200000;
+    return spec;
+}
+
+TEST(ExperimentRunner, FourThreadsBitIdenticalToOne)
+{
+    exp::ExperimentRunner serial(1);
+    exp::ExperimentRunner pool(4);
+    const auto a = serial.run(tinySpec());
+    const auto b = pool.run(tinySpec());
+    EXPECT_EQ(b.threadsUsed, 4u);
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+    for (std::size_t i = 0; i < a.cells().size(); ++i) {
+        const auto &ra = a.cells()[i];
+        const auto &rb = b.cells()[i];
+        EXPECT_EQ(ra.workload, rb.workload);
+        EXPECT_EQ(ra.policy, rb.policy);
+        EXPECT_EQ(ra.result().instructions, rb.result().instructions);
+        // Exact equality, not tolerance: the schedule must not leak
+        // into the simulation.
+        EXPECT_EQ(ra.result().cycles, rb.result().cycles);
+        EXPECT_EQ(ra.result().l2.demandMisses,
+                  rb.result().l2.demandMisses);
+        EXPECT_EQ(ra.result().l2InstMpki, rb.result().l2InstMpki);
+        EXPECT_EQ(ra.metrics, rb.metrics);
+    }
+}
+
+TEST(ExperimentRunner, GridCollectsEachWorkloadProfileOnce)
+{
+    exp::ExperimentRunner runner(4);
+    const auto results = runner.run(tinySpec());
+    // One instrumented run per workload; every other cell hits.
+    EXPECT_EQ(results.profileCollections, 2u);
+    EXPECT_EQ(results.profileHits, 4u);
+    // The cells of one workload share one Profile object.
+    for (std::size_t w = 0; w < 2; ++w) {
+        const Profile *first =
+            results.at(w, 0).artifacts.profile.get();
+        ASSERT_NE(first, nullptr);
+        for (std::size_t p = 1; p < 3; ++p)
+            EXPECT_EQ(results.at(w, p).artifacts.profile.get(), first);
+    }
+}
+
+TEST(ExperimentRunner, FilterSkipsCells)
+{
+    auto spec = tinySpec();
+    spec.filter = [](const exp::CellId &id) { return id.policy == 0; };
+    exp::ExperimentRunner runner(2);
+    const auto results = runner.run(spec);
+    for (const auto &rec : results.cells())
+        EXPECT_EQ(rec.valid, rec.id.policy == 0);
+}
+
+TEST(ExperimentRunner, ConfigAxisAppliesMutators)
+{
+    auto spec = tinySpec();
+    spec.workloads = {"python"};
+    spec.policies = {"SRRIP"};
+    spec.configs = {
+        {"base", nullptr},
+        {"nofdip",
+         [](SimOptions &o) { o.core.fdipEnabled = false; }},
+    };
+    exp::ExperimentRunner runner(2);
+    const auto results = runner.run(spec);
+    EXPECT_EQ(results.at(0, 0, 1).config, "nofdip");
+    // Disabling FDIP must change timing.
+    EXPECT_NE(results.at(0, 0, 0).result().cycles,
+              results.at(0, 0, 1).result().cycles);
+}
+
+TEST(ExperimentRunner, CustomRunCellBypassesSimulation)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "custom";
+    spec.workloads = {"not-a-proxy"};
+    spec.policies = {"a", "b"};
+    spec.runCell = [](const exp::CellContext &ctx) {
+        exp::CellOutcome out;
+        out.metrics["policy_index"] =
+            static_cast<double>(ctx.id.policy);
+        return out;
+    };
+    exp::ExperimentRunner runner(2);
+    const auto results = runner.run(spec);
+    EXPECT_EQ(results.at(0, 1).metrics.at("policy_index"), 1.0);
+}
+
+TEST(ExperimentRunner, HooksAreKeptPerCell)
+{
+    auto spec = tinySpec();
+    spec.workloads = {"python"};
+    spec.policies = {"SRRIP"};
+    spec.hooks = [](SimOptions &opts, const exp::CellId &) {
+        auto prof =
+            std::make_shared<ReuseDistanceProfiler>(opts.hier.l2);
+        opts.reuse = prof.get();
+        return prof;
+    };
+    exp::ExperimentRunner runner(1);
+    const auto results = runner.run(spec);
+    const auto *prof =
+        results.at(0, 0).hookAs<ReuseDistanceProfiler>();
+    ASSERT_NE(prof, nullptr);
+}
+
+TEST(ProfileCache, OneCollectionPerDistinctKey)
+{
+    const auto wl_a = buildWorkload(proxyParams("python"));
+    const auto wl_b = buildWorkload(proxyParams("deepsjeng"));
+    exp::ProfileCache cache;
+    const auto p1 = cache.get(wl_a, 100000);
+    const auto p2 = cache.get(wl_a, 100000);
+    EXPECT_EQ(p1.get(), p2.get());
+    EXPECT_EQ(cache.collections(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    cache.get(wl_a, 200000); // New budget -> new key.
+    cache.get(wl_b, 100000); // New workload -> new key.
+    EXPECT_EQ(cache.collections(), 3u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProfileCache, DistinguishesTrainingInputs)
+{
+    WorkloadParams same = proxyParams("python");
+    same.trainSeed = same.seed;
+    same.trainZipfSkew = same.zipfSkew;
+    const auto wl_diff = buildWorkload(proxyParams("python"));
+    const auto wl_same = buildWorkload(same);
+    exp::ProfileCache cache;
+    cache.get(wl_diff, 100000);
+    cache.get(wl_same, 100000);
+    EXPECT_EQ(cache.collections(), 2u);
+}
+
+TEST(ProfileCache, ConcurrentRequestsCollectOnce)
+{
+    const auto wl = buildWorkload(proxyParams("python"));
+    exp::ProfileCache cache;
+    std::vector<std::shared_ptr<const Profile>> seen(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back(
+            [&, t] { seen[t] = cache.get(wl, 150000); });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(cache.collections(), 1u);
+    EXPECT_EQ(cache.hits(), 3u);
+    for (int t = 1; t < 4; ++t)
+        EXPECT_EQ(seen[t].get(), seen[0].get());
+}
+
+TEST(Sinks, JsonSinkWritesTrajectory)
+{
+    const std::string path = "test_exp_sink.json";
+    auto spec = tinySpec();
+    spec.workloads = {"python"};
+    exp::ExperimentRunner runner(2);
+    exp::JsonSink json(path);
+    std::vector<exp::ResultSink *> sinks{&json};
+    runner.run(spec, sinks);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    EXPECT_NE(text.find("\"experiment\": \"test_grid\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"policy\": \"TRRIP-1\""), std::string::npos);
+    EXPECT_NE(text.find("\"l2_inst_mpki\""), std::string::npos);
+    EXPECT_NE(text.find("\"profile_collections\": 1"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Sinks, CsvSinkWritesOneRowPerCell)
+{
+    const std::string path = "test_exp_sink.csv";
+    auto spec = tinySpec();
+    exp::ExperimentRunner runner(2);
+    exp::CsvSink csv(path);
+    std::vector<exp::ResultSink *> sinks{&csv};
+    runner.run(spec, sinks);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t rows = 0;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.rfind("workload,policy,config", 0), 0u);
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, spec.cellCount());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace trrip

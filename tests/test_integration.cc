@@ -122,7 +122,7 @@ TEST_F(PipelineTest, ArtifactsAreConsistent)
                   Temperature::Hot)],
               0u);
     // The profile has mass.
-    EXPECT_GT(art.profile.total(), 0u);
+    EXPECT_GT(art.profile->total(), 0u);
 }
 
 TEST(PipelineDeterminism, IdenticalRunsBitIdentical)
@@ -135,7 +135,7 @@ TEST(PipelineDeterminism, IdenticalRunsBitIdentical)
     const auto rb = b.run("TRRIP-2", o);
     EXPECT_DOUBLE_EQ(ra.result.cycles, rb.result.cycles);
     EXPECT_EQ(ra.result.l2.demandMisses, rb.result.l2.demandMisses);
-    EXPECT_EQ(ra.profile.total(), rb.profile.total());
+    EXPECT_EQ(ra.profile->total(), rb.profile->total());
 }
 
 TEST(HotThresholdSweep, HotTextGrowsWithPercentile)

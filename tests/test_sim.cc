@@ -204,11 +204,14 @@ TEST(Simulator, BackendParamsFeedTopdown)
 TEST(Simulator, PrecomputedProfileShortCircuits)
 {
     const auto wl = buildWorkload(tinyParams());
-    const auto prof = collectProfile(wl, 100000);
+    const auto prof =
+        std::make_shared<const Profile>(collectProfile(wl, 100000));
     SimOptions opts = fastOpts();
-    opts.precomputedProfile = &prof;
+    opts.precomputedProfile = prof;
     const auto art = runWorkload(wl, policyMaker("SRRIP"), opts);
-    EXPECT_EQ(art.profile.total(), prof.total());
+    // Shared without copying: the artifacts reference the same object.
+    EXPECT_EQ(art.profile.get(), prof.get());
+    EXPECT_EQ(art.profile->total(), prof->total());
 }
 
 TEST(Simulator, TemperatureReachesL2Requests)
