@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "cache/cache.hh"
-#include "core/policy_factory.hh"
+#include "core/policy_registry.hh"
 #include "harness.hh"
 #include "util/rng.hh"
 
@@ -51,12 +51,14 @@ main()
     spec.name = "micro_policy";
     spec.title = "Microbenchmark: L2 access+fill cost per policy";
     spec.workloads = {"churn"};
-    spec.policies = {"LRU",  "SRRIP",    "BRRIP",   "DRRIP",
-                     "SHiP", "CLIP",     "Emissary", "TRRIP-1",
-                     "TRRIP-2"};
+    // Registry spec strings; the wide-RRPV SRRIP shows the parameter
+    // grammar's cost is in the policy, not the construction path.
+    spec.policies = {"LRU",  "SRRIP",    "SRRIP(bits=3)", "BRRIP",
+                     "DRRIP", "SHiP",    "CLIP",     "Emissary",
+                     "TRRIP-1", "TRRIP-2"};
     spec.runCell = [](const CellContext &ctx) {
         const CacheGeometry geom{"L2", 128 * 1024, 8, 64};
-        Cache cache(geom, makePolicy(ctx.policy, geom));
+        Cache cache(geom, PolicySpec(ctx.policy));
         const auto reqs = churnRequests();
 
         using clock = std::chrono::steady_clock;

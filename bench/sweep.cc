@@ -3,7 +3,10 @@
  * Generic grid sweep -- the scaffold future experiments plug into
  * without writing a new binary.  The axes come from the environment:
  *   TRRIP_SWEEP_WORKLOADS  comma list (default: all ten proxies)
- *   TRRIP_SWEEP_POLICIES   comma list (default: the Fig. 6 set)
+ *   TRRIP_SWEEP_POLICIES   comma list of registry policy specs, e.g.
+ *                          "SRRIP(bits=3),DRRIP(psel_bits=8)"
+ *                          (commas inside parentheses belong to the
+ *                          spec, not the list; default: Fig. 6 set)
  *   TRRIP_INSTR_MILLIONS   per-cell budget
  *   TRRIP_JOBS             pool width
  * Output: the per-cell metric table plus BENCH_sweep.json (and .csv
@@ -11,8 +14,8 @@
  */
 
 #include <cstdlib>
-#include <sstream>
 
+#include "core/policy_registry.hh"
 #include "harness.hh"
 
 namespace {
@@ -23,12 +26,23 @@ envList(const char *name, std::vector<std::string> fallback)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return fallback;
+    // Split on commas outside parentheses, so parameterized policy
+    // specs like "DRRIP(psel_bits=10,throttle=32)" stay whole.
     std::vector<std::string> out;
-    std::istringstream is(v);
     std::string item;
-    while (std::getline(is, item, ','))
-        if (!item.empty())
-            out.push_back(item);
+    int depth = 0;
+    for (const char *p = v;; ++p) {
+        if (*p == '\0' || (*p == ',' && depth == 0)) {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+            if (*p == '\0')
+                break;
+            continue;
+        }
+        depth += *p == '(' ? 1 : (*p == ')' ? -1 : 0);
+        item += *p;
+    }
     return out.empty() ? fallback : out;
 }
 

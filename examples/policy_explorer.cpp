@@ -3,12 +3,17 @@
  * Interactive policy/configuration explorer.
  *
  * Usage:
- *   policy_explorer [workload] [policy] [l2KiB] [assoc] [instrM]
+ *   policy_explorer [workload] [policy-spec] [l2KiB] [assoc] [instrM]
+ *
+ * The policy argument is a PolicyRegistry spec string, so parameters
+ * sweep from the command line; "help" lists every registered policy
+ * with its schema.
  *
  * Examples:
- *   policy_explorer                      # python, all policies
- *   policy_explorer sqlite TRRIP-2       # one policy on sqlite
- *   policy_explorer gcc TRRIP-1 256 16 8 # 256 KiB 16-way, 8M instrs
+ *   policy_explorer                          # python, all policies
+ *   policy_explorer sqlite TRRIP-2           # one policy on sqlite
+ *   policy_explorer gcc "TRRIP-1(bits=3)"    # parameterized spec
+ *   policy_explorer python help              # registry schema listing
  */
 
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include <string>
 
 #include "core/codesign.hh"
+#include "core/policy_registry.hh"
 #include "workloads/proxies.hh"
 
 int
@@ -32,6 +38,12 @@ main(int argc, char **argv)
                        std::strtoul(argv[4], nullptr, 10))
                  : 8;
     const double instr_m = argc > 5 ? std::atof(argv[5]) : 4.0;
+
+    if (policy == "help") {
+        std::printf("%s",
+                    PolicyRegistry::instance().helpText().c_str());
+        return 0;
+    }
 
     SimOptions opts;
     opts.maxInstructions =

@@ -13,6 +13,11 @@ Cache::Cache(const CacheGeometry &geom,
     panic_if(!policy_, geom_.name, ": null replacement policy");
 }
 
+Cache::Cache(const CacheGeometry &geom, const PolicySpec &policy) :
+    Cache(geom, PolicyRegistry::instance().instantiate(policy, geom))
+{
+}
+
 SetView
 Cache::setView(std::uint32_t set)
 {

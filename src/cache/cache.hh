@@ -16,6 +16,7 @@
 #include "cache/geometry.hh"
 #include "cache/line.hh"
 #include "cache/replacement/policy.hh"
+#include "core/policy_registry.hh"
 #include "mem/request.hh"
 
 namespace trrip {
@@ -50,6 +51,9 @@ class Cache
   public:
     Cache(const CacheGeometry &geom,
           std::unique_ptr<ReplacementPolicy> policy);
+
+    /** Build the policy from a registry spec ("SRRIP(bits=3)"). */
+    Cache(const CacheGeometry &geom, const PolicySpec &policy);
 
     const CacheGeometry &geometry() const { return geom_; }
     ReplacementPolicy &policy() { return *policy_; }

@@ -1,6 +1,5 @@
 #include "cache/hierarchy.hh"
 
-#include "cache/replacement/lru.hh"
 #include "util/logging.hh"
 
 namespace trrip {
@@ -22,14 +21,20 @@ requestFor(const CacheLine &line)
 
 } // namespace
 
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params) :
+    CacheHierarchy(params, PolicyRegistry::instance().instantiate(
+                               params.l2Policy, params.l2))
+{
+}
+
 CacheHierarchy::CacheHierarchy(
     const HierarchyParams &params,
     std::unique_ptr<ReplacementPolicy> l2_policy) :
     params_(params),
-    l1i_(params.l1i, std::make_unique<LruPolicy>(params.l1i)),
-    l1d_(params.l1d, std::make_unique<LruPolicy>(params.l1d)),
+    l1i_(params.l1i, params.l1iPolicy),
+    l1d_(params.l1d, params.l1dPolicy),
     l2_(params.l2, std::move(l2_policy)),
-    slc_(params.slc, std::make_unique<LruPolicy>(params.slc)),
+    slc_(params.slc, params.slcPolicy),
     dram_(params.dram),
     l1dStride_(256, params.l1dStrideDegree),
     l2Stride_(256, params.l2StrideDegree),

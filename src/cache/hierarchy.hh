@@ -17,6 +17,7 @@
 
 #include "cache/cache.hh"
 #include "cache/prefetcher.hh"
+#include "core/policy_registry.hh"
 #include "mem/dram.hh"
 #include "mem/request.hh"
 
@@ -51,6 +52,18 @@ struct HierarchyParams
      */
     CacheGeometry l2{"L2", 128 * 1024, 8, 64};
     CacheGeometry slc{"SLC", 1024 * 1024, 16, 64};
+
+    /**
+     * Replacement policy of each level as a registry spec (any
+     * registered policy, with parameters: "TRRIP-2(bits=3)").  The
+     * paper's configuration runs the mechanism under test in the L2
+     * with LRU everywhere else, but every level is assignable -- e.g.
+     * a TRRIP L1-I for the per-level sweeps.
+     */
+    PolicySpec l1iPolicy{"LRU"};
+    PolicySpec l1dPolicy{"LRU"};
+    PolicySpec l2Policy{"SRRIP"};
+    PolicySpec slcPolicy{"LRU"};
 
     Cycles l1TagLat = 1, l1DataLat = 3;
     Cycles l2TagLat = 8, l2DataLat = 12;
@@ -96,6 +109,14 @@ class L2AccessObserver
 class CacheHierarchy
 {
   public:
+    /** Build every level's policy from the params' per-level specs. */
+    explicit CacheHierarchy(const HierarchyParams &params);
+
+    /**
+     * Legacy entry point: an externally constructed L2 policy
+     * overriding params.l2Policy (the other levels still follow their
+     * specs).  Prefer the spec-driven constructor.
+     */
     CacheHierarchy(const HierarchyParams &params,
                    std::unique_ptr<ReplacementPolicy> l2_policy);
 

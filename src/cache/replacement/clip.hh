@@ -30,6 +30,14 @@ class ClipPolicy : public RripBase
 
     std::string name() const override { return "CLIP"; }
 
+    std::string
+    describe() const override
+    {
+        return "CLIP(bits=" + std::to_string(rrpvBits()) +
+               ",leader_sets=" + std::to_string(dueling_.leaderSets()) +
+               ",psel_bits=" + std::to_string(dueling_.pselBits()) + ")";
+    }
+
     void
     onHit(std::uint32_t set, std::uint32_t way, SetView lines,
           const MemRequest &req) override

@@ -29,6 +29,15 @@ class DrripPolicy : public RripBase
 
     std::string name() const override { return "DRRIP"; }
 
+    std::string
+    describe() const override
+    {
+        return "DRRIP(bits=" + std::to_string(rrpvBits()) +
+               ",leader_sets=" + std::to_string(dueling_.leaderSets()) +
+               ",psel_bits=" + std::to_string(dueling_.pselBits()) +
+               ",throttle=" + std::to_string(throttle_) + ")";
+    }
+
     void
     onHit(std::uint32_t, std::uint32_t way, SetView lines,
           const MemRequest &) override

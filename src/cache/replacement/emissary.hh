@@ -9,6 +9,8 @@
 #ifndef TRRIP_CACHE_REPLACEMENT_EMISSARY_HH
 #define TRRIP_CACHE_REPLACEMENT_EMISSARY_HH
 
+#include <cstdio>
+
 #include "cache/replacement/policy.hh"
 #include "util/rng.hh"
 
@@ -39,6 +41,15 @@ class EmissaryPolicy : public ReplacementPolicy
     {}
 
     std::string name() const override { return "Emissary"; }
+
+    std::string
+    describe() const override
+    {
+        char prob[24];
+        std::snprintf(prob, sizeof(prob), "%.17g", setProbability_);
+        return "Emissary(ways=" + std::to_string(priorityWays_) +
+               ",prob=" + prob + ")";
+    }
 
     void
     onHit(std::uint32_t, std::uint32_t way, SetView lines,

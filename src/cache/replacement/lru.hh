@@ -1,7 +1,8 @@
 /**
  * @file
  * Least-recently-used replacement (paper baseline for L1s, SLC, and the
- * LRU bar of Fig. 6).
+ * LRU bar of Fig. 6).  Registered as "LRU" in the PolicyRegistry; it
+ * has no tunable parameters, so name() and describe() coincide.
  */
 
 #ifndef TRRIP_CACHE_REPLACEMENT_LRU_HH

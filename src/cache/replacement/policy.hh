@@ -36,6 +36,15 @@ class ReplacementPolicy
     /** Short policy name, e.g. "SRRIP". */
     virtual std::string name() const = 0;
 
+    /**
+     * Canonical spec of this instance with every resolved parameter
+     * spelled out, e.g. "SRRIP(bits=2)" -- what the result sinks
+     * record so a row's label never under-reports the configuration
+     * that produced it.  Matches PolicyRegistry::canonical() for the
+     * spec the policy was built from.
+     */
+    virtual std::string describe() const { return name(); }
+
     /** A request hit way @p way of set @p set. */
     virtual void onHit(std::uint32_t set, std::uint32_t way, SetView lines,
                        const MemRequest &req) = 0;
@@ -65,10 +74,6 @@ class ReplacementPolicy
   protected:
     CacheGeometry geom_;
 };
-
-/** Factory signature used by the simulator configuration layer. */
-using PolicyFactory =
-    std::unique_ptr<ReplacementPolicy> (*)(const CacheGeometry &);
 
 } // namespace trrip
 

@@ -15,11 +15,18 @@ namespace trrip {
 class RandomPolicy : public ReplacementPolicy
 {
   public:
-    explicit RandomPolicy(const CacheGeometry &geom) :
-        ReplacementPolicy(geom), rng_(0xdecafbadull)
+    explicit RandomPolicy(const CacheGeometry &geom,
+                          std::uint64_t seed = 0xdecafbadull) :
+        ReplacementPolicy(geom), seed_(seed), rng_(seed)
     {}
 
     std::string name() const override { return "Random"; }
+
+    std::string
+    describe() const override
+    {
+        return "Random(seed=" + std::to_string(seed_) + ")";
+    }
 
     void
     onHit(std::uint32_t, std::uint32_t, SetView, const MemRequest &)
@@ -38,6 +45,7 @@ class RandomPolicy : public ReplacementPolicy
     {}
 
   private:
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -24,9 +24,12 @@ class RripBase : public ReplacementPolicy
 {
   public:
     RripBase(const CacheGeometry &geom, unsigned rrpv_bits = 2) :
-        ReplacementPolicy(geom),
+        ReplacementPolicy(geom), rrpvBits_(rrpv_bits),
         maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1))
     {}
+
+    /** Configured RRPV width ("bits" in the registry schema). */
+    unsigned rrpvBits() const { return rrpvBits_; }
 
     /** RRPV meaning an immediate re-reference prediction. */
     std::uint8_t immediate() const { return 0; }
@@ -58,6 +61,7 @@ class RripBase : public ReplacementPolicy
     }
 
   protected:
+    unsigned rrpvBits_;
     std::uint8_t maxRrpv_;
 };
 
@@ -74,6 +78,12 @@ class SrripPolicy : public RripBase
     {}
 
     std::string name() const override { return "SRRIP"; }
+
+    std::string
+    describe() const override
+    {
+        return "SRRIP(bits=" + std::to_string(rrpvBits()) + ")";
+    }
 
     void
     onHit(std::uint32_t, std::uint32_t way, SetView lines,
@@ -104,6 +114,13 @@ class BrripPolicy : public RripBase
     {}
 
     std::string name() const override { return "BRRIP"; }
+
+    std::string
+    describe() const override
+    {
+        return "BRRIP(bits=" + std::to_string(rrpvBits()) +
+               ",throttle=" + std::to_string(throttle_) + ")";
+    }
 
     void
     onHit(std::uint32_t, std::uint32_t way, SetView lines,

@@ -27,18 +27,26 @@ class ShipPolicy : public RripBase
 {
   public:
     /**
-     * @param shct_entries Signature history counter table entries.
-     *        The paper models a 64 kB predictor; with 2-bit counters
-     *        that is 256Ki entries, which we default to.
+     * @param shct_bits log2 of the signature history counter table
+     *        entry count ("shct_bits" in the registry schema).  The
+     *        paper models a 64 kB predictor; with 2-bit counters that
+     *        is 256Ki entries, so the default is 18.
      */
     explicit ShipPolicy(const CacheGeometry &geom,
                         unsigned rrpv_bits = 2,
-                        std::size_t shct_entries = 256 * 1024) :
-        RripBase(geom, rrpv_bits),
-        shct_(shct_entries, SatCounter(2, 1))
+                        unsigned shct_bits = 18) :
+        RripBase(geom, rrpv_bits), shctBits_(shct_bits),
+        shct_(checkedShctEntries(shct_bits), SatCounter(2, 1))
     {}
 
     std::string name() const override { return "SHiP"; }
+
+    std::string
+    describe() const override
+    {
+        return "SHiP(bits=" + std::to_string(rrpvBits()) +
+               ",shct_bits=" + std::to_string(shctBits_) + ")";
+    }
 
     void
     onHit(std::uint32_t, std::uint32_t way, SetView lines,
@@ -85,6 +93,17 @@ class ShipPolicy : public RripBase
     }
 
   private:
+    /** Guard the shift: a caller passing an entry *count* here (the
+     *  pre-registry signature) would otherwise hit shift UB. */
+    static std::size_t
+    checkedShctEntries(unsigned shct_bits)
+    {
+        fatal_if(shct_bits > 30, "SHiP: shct_bits=", shct_bits,
+                 " is not a log2 entry count");
+        return std::size_t(1) << shct_bits;
+    }
+
+    unsigned shctBits_;
     std::vector<SatCounter> shct_;
 };
 

@@ -13,7 +13,7 @@
 #include <mutex>
 #include <string>
 
-#include "core/policy_factory.hh"
+#include "core/policy_registry.hh"
 #include "sim/simulator.hh"
 #include "workloads/builder.hh"
 
@@ -32,20 +32,26 @@ class CoDesignPipeline
 
     /** Run the full pipeline with default options. */
     RunArtifacts
-    run(const std::string &policy_name) const
+    run(const std::string &policy_spec) const
     {
-        return run(policy_name, SimOptions());
+        return run(policy_spec, SimOptions());
     }
 
-    /** Run the full pipeline with explicit options. */
+    /**
+     * Run the full pipeline with explicit options.  @p policy_spec is
+     * a registry spec string ("SRRIP", "TRRIP-2(bits=3)", ...) naming
+     * the L2 policy under test; the other levels follow the per-level
+     * specs already in options.hier.
+     */
     RunArtifacts
-    run(const std::string &policy_name, const SimOptions &options) const
+    run(const std::string &policy_spec, const SimOptions &options) const
     {
         SimOptions opts = options;
+        opts.hier.l2Policy = PolicySpec(policy_spec);
         if (!opts.precomputedProfile)
             opts.precomputedProfile =
                 profile(resolveProfileBudget(opts));
-        return runWorkload(workload_, policyMaker(policy_name), opts);
+        return runWorkload(workload_, opts);
     }
 
     /**
@@ -54,12 +60,13 @@ class CoDesignPipeline
      * pipeline's own per-budget cache entirely.
      */
     RunArtifacts
-    run(const std::string &policy_name, const SimOptions &options,
+    run(const std::string &policy_spec, const SimOptions &options,
         std::shared_ptr<const Profile> profile) const
     {
         SimOptions opts = options;
+        opts.hier.l2Policy = PolicySpec(policy_spec);
         opts.precomputedProfile = std::move(profile);
-        return runWorkload(workload_, policyMaker(policy_name), opts);
+        return runWorkload(workload_, opts);
     }
 
     /**

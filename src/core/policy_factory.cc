@@ -1,56 +1,22 @@
 #include "core/policy_factory.hh"
 
-#include "cache/replacement/clip.hh"
-#include "cache/replacement/drrip.hh"
-#include "cache/replacement/emissary.hh"
-#include "cache/replacement/lru.hh"
-#include "cache/replacement/random.hh"
-#include "cache/replacement/rrip.hh"
-#include "cache/replacement/ship.hh"
-#include "core/trrip_policy.hh"
-#include "util/logging.hh"
-
 namespace trrip {
 
 std::unique_ptr<ReplacementPolicy>
-makePolicy(const std::string &name, const CacheGeometry &geom)
+makePolicy(const std::string &spec, const CacheGeometry &geom)
 {
-    if (name == "LRU")
-        return std::make_unique<LruPolicy>(geom);
-    if (name == "Random")
-        return std::make_unique<RandomPolicy>(geom);
-    if (name == "SRRIP")
-        return std::make_unique<SrripPolicy>(geom);
-    if (name == "BRRIP")
-        return std::make_unique<BrripPolicy>(geom);
-    if (name == "DRRIP")
-        return std::make_unique<DrripPolicy>(geom);
-    if (name == "SHiP")
-        return std::make_unique<ShipPolicy>(geom);
-    if (name == "CLIP")
-        return std::make_unique<ClipPolicy>(geom);
-    if (name == "Emissary")
-        return std::make_unique<EmissaryPolicy>(geom);
-    if (name == "TRRIP-1")
-        return std::make_unique<TrripPolicy>(geom, TrripVariant::V1);
-    if (name == "TRRIP-2")
-        return std::make_unique<TrripPolicy>(geom, TrripVariant::V2);
-    fatal("unknown replacement policy: ", name);
+    return PolicyRegistry::instance().instantiate(spec, geom);
 }
 
 L2PolicyMaker
-policyMaker(const std::string &name)
+policyMaker(const std::string &spec)
 {
-    return [name](const CacheGeometry &geom) {
-        return makePolicy(name, geom);
+    // Parse eagerly so a bad spec fails at configuration time, not on
+    // first use inside the simulation.
+    const PolicySpec parsed = PolicyRegistry::instance().parse(spec);
+    return [parsed](const CacheGeometry &geom) {
+        return PolicyRegistry::instance().instantiate(parsed, geom);
     };
-}
-
-std::vector<std::string>
-evaluatedPolicyNames()
-{
-    return {"SRRIP",    "LRU",  "BRRIP",    "DRRIP",   "SHiP",
-            "CLIP",     "Emissary", "TRRIP-1", "TRRIP-2"};
 }
 
 } // namespace trrip

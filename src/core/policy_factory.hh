@@ -1,8 +1,13 @@
 /**
  * @file
- * Replacement policy factory covering every mechanism of the paper's
- * evaluation (section 4.3): LRU, SRRIP, BRRIP, DRRIP, SHiP, CLIP,
- * Emissary, TRRIP-1 and TRRIP-2 (plus Random for sanity baselines).
+ * DEPRECATED compatibility shim over core/policy_registry.
+ *
+ * The hard-coded factory this header used to declare has been replaced
+ * by the self-registering PolicyRegistry and its policy-spec grammar
+ * ("SRRIP(bits=3)", per-level assignment through HierarchyParams).
+ * These wrappers forward to the registry and exist only so external
+ * code migrating off makePolicy()/policyMaker() keeps compiling during
+ * the transition; new code must use PolicyRegistry / PolicySpec.
  */
 
 #ifndef TRRIP_CORE_POLICY_FACTORY_HH
@@ -10,22 +15,18 @@
 
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "cache/replacement/policy.hh"
+#include "core/policy_registry.hh"
 #include "sim/simulator.hh"
 
 namespace trrip {
 
-/** Instantiate a policy by name for @p geom; fatal on unknown name. */
+/** Deprecated: use PolicyRegistry::instance().instantiate(spec, geom). */
 std::unique_ptr<ReplacementPolicy>
-makePolicy(const std::string &name, const CacheGeometry &geom);
+makePolicy(const std::string &spec, const CacheGeometry &geom);
 
-/** An L2PolicyMaker bound to @p name. */
-L2PolicyMaker policyMaker(const std::string &name);
-
-/** The paper's Fig. 6 mechanism list (normalization baseline first). */
-std::vector<std::string> evaluatedPolicyNames();
+/** Deprecated: assign options.hier.l2Policy = spec instead. */
+L2PolicyMaker policyMaker(const std::string &spec);
 
 } // namespace trrip
 

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 
+#include "core/policy_registry.hh"
 #include "exp/sink.hh"
 #include "util/logging.hh"
 
@@ -149,6 +151,22 @@ ExperimentRunner::run(const ExperimentSpec &spec,
              "experiment '", spec.name,
              "': attach observers via ExperimentSpec::hooks, not the "
              "base options");
+
+    // Reject policy-axis entries that are the same policy in
+    // different spellings ("SRRIP" vs "SRRIP(bits=2)"): the sinks
+    // canonicalize labels, so their rows would be indistinguishable.
+    {
+        std::map<std::string, std::string> seen;
+        for (const auto &label : spec.policies) {
+            const std::string canon =
+                PolicyRegistry::instance().canonicalLabel(label);
+            const auto [it, inserted] = seen.emplace(canon, label);
+            fatal_if(!inserted, "experiment '", spec.name,
+                     "': policy axis entries '", it->second, "' and '",
+                     label, "' resolve to the same policy (", canon,
+                     ")");
+        }
+    }
 
     const auto params_for = spec.paramsFor
                                 ? spec.paramsFor

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "core/policy_registry.hh"
 #include "util/logging.hh"
 
 namespace trrip::exp {
@@ -134,6 +135,45 @@ writeStringArray(std::ofstream &out, const char *key,
     out << "],\n";
 }
 
+/**
+ * Fully resolved registry label when @p label parses as a policy
+ * spec, @p label verbatim otherwise (free-form axes stay as-is).
+ */
+std::string
+canonicalLabel(const std::string &label)
+{
+    return PolicyRegistry::instance().canonicalLabel(label);
+}
+
+std::vector<std::string>
+canonicalLabels(const std::vector<std::string> &labels)
+{
+    std::vector<std::string> out;
+    out.reserve(labels.size());
+    for (const auto &label : labels)
+        out.push_back(canonicalLabel(label));
+    return out;
+}
+
+/**
+ * RFC 4180 CSV field quoting.  Canonical policy labels contain commas
+ * ("DRRIP(bits=2,leader_sets=32,...)"), so label fields must be
+ * quoted or every metric column after them shifts.
+ */
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    return out + "\"";
+}
+
 } // namespace
 
 JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
@@ -155,7 +195,7 @@ JsonSink::begin(const ExperimentSpec &spec)
     out_ << "{\n  \"experiment\": \"" << jsonEscape(spec.name)
          << "\",\n  \"title\": \"" << jsonEscape(spec.title) << "\",\n";
     writeStringArray(out_, "workloads", spec.workloads);
-    writeStringArray(out_, "policies", spec.policies);
+    writeStringArray(out_, "policies", canonicalLabels(spec.policies));
     writeStringArray(out_, "configs", configs);
     out_ << "  \"cells\": [";
 }
@@ -168,9 +208,21 @@ JsonSink::cell(const CellRecord &record)
     out_ << (firstCell_ ? "\n" : ",\n");
     firstCell_ = false;
     out_ << "    {\"workload\": \"" << jsonEscape(record.workload)
-         << "\", \"policy\": \"" << jsonEscape(record.policy)
-         << "\", \"config\": \"" << jsonEscape(record.config)
-         << "\", \"metrics\": {";
+         << "\", \"policy\": \""
+         << jsonEscape(canonicalLabel(record.policy))
+         << "\", \"config\": \"" << jsonEscape(record.config) << "\"";
+    if (!record.artifacts.resolvedPolicies.empty()) {
+        out_ << ", \"resolved_policies\": {";
+        bool first = true;
+        for (const auto &[level, desc] :
+             record.artifacts.resolvedPolicies) {
+            out_ << (first ? "" : ", ") << '"' << jsonEscape(level)
+                 << "\": \"" << jsonEscape(desc) << '"';
+            first = false;
+        }
+        out_ << "}";
+    }
+    out_ << ", \"metrics\": {";
     bool first = true;
     for (const auto &[name, value] : record.metrics) {
         out_ << (first ? "" : ", ") << '"' << jsonEscape(name)
@@ -185,10 +237,10 @@ JsonSink::end(const ExperimentResults &results)
 {
     if (!out_)
         return;
-    out_ << "\n  ],\n  \"wall_seconds\": "
-         << jsonNumber(results.wallSeconds)
-         << ",\n  \"threads\": " << results.threadsUsed
-         << ",\n  \"profile_collections\": "
+    // Deliberately no wall time or thread count: the file must be
+    // byte-identical across runs and TRRIP_JOBS settings so it can be
+    // diffed for regression tracking (timing lives on stdout).
+    out_ << "\n  ],\n  \"profile_collections\": "
          << results.profileCollections
          << ",\n  \"profile_hits\": " << results.profileHits << "\n}\n";
     out_.close();
@@ -212,7 +264,7 @@ CsvSink::cell(const CellRecord &record)
 {
     CellRecord copy;
     copy.workload = record.workload;
-    copy.policy = record.policy;
+    copy.policy = canonicalLabel(record.policy);
     copy.config = record.config;
     copy.metrics = record.metrics;
     rows_.push_back(std::move(copy));
@@ -235,7 +287,8 @@ CsvSink::end(const ExperimentResults &)
         out_ << ',' << c;
     out_ << '\n';
     for (const auto &row : rows_) {
-        out_ << row.workload << ',' << row.policy << ',' << row.config;
+        out_ << csvField(row.workload) << ',' << csvField(row.policy)
+             << ',' << csvField(row.config);
         for (const auto &c : columns) {
             const auto it = row.metrics.find(c);
             out_ << ',';

@@ -8,6 +8,14 @@
  * (human progress), and JSON / CSV writers producing machine-readable
  * BENCH_<name>.{json,csv} trajectories for plotting and regression
  * tracking.
+ *
+ * The machine-readable sinks canonicalize policy-axis labels through
+ * the PolicyRegistry ("SRRIP" -> "SRRIP(bits=2)") and the JSON writer
+ * records each simulation cell's per-level resolved policies, so a
+ * row always names the exact configuration that produced it, and a
+ * bare name and its fully spelled-out spec emit identical files.
+ * Timing fields (wall seconds, thread count) stay on stdout only:
+ * BENCH files are byte-reproducible across runs and thread counts.
  */
 
 #ifndef TRRIP_EXP_SINK_HH

@@ -71,6 +71,15 @@ struct ExperimentSpec
     std::string title;
 
     std::vector<std::string> workloads;
+    /**
+     * L2 policy axis as PolicyRegistry spec strings -- bare names
+     * ("SRRIP") or parameterized specs ("TRRIP-2(bits=3)",
+     * "SHiP(shct_bits=14)").  Each cell parses its entry and assigns
+     * it to the cell's options.hier.l2Policy, so parameter sweeps are
+     * just more axis entries.  (Custom-runCell specs may use
+     * free-form labels instead.)  Other levels are swept through
+     * ConfigVariants mutating the per-level specs in SimOptions.
+     */
     std::vector<std::string> policies;
     /** Option variants; empty means one implicit base config. */
     std::vector<ConfigVariant> configs;

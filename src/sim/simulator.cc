@@ -60,11 +60,17 @@ resolveProfileBudget(const SimOptions &options)
                : resolveBudget(options);
 }
 
+namespace {
+
+/**
+ * Shared pipeline body.  @p l2_override, when non-null, replaces the
+ * options' l2Policy spec (the deprecated L2PolicyMaker path).
+ */
 RunArtifacts
-runWorkload(const SyntheticWorkload &workload,
-            const L2PolicyMaker &make_policy, const SimOptions &options)
+runWorkloadWith(const SyntheticWorkload &workload,
+                const SimOptions &options,
+                std::unique_ptr<ReplacementPolicy> l2_override)
 {
-    panic_if(!make_policy, "runWorkload needs a policy maker");
     RunArtifacts art;
 
     const InstCount budget = resolveBudget(options);
@@ -102,8 +108,17 @@ runWorkload(const SyntheticWorkload &workload,
     // (9)-(11) Execute: MMU stamps temperatures onto fetch requests.
     Mmu mmu(pt);
     BranchUnit branch(options.branch);
-    CacheHierarchy hier(options.hier,
-                        make_policy(options.hier.l2));
+    std::unique_ptr<ReplacementPolicy> l2_policy =
+        l2_override ? std::move(l2_override)
+                    : PolicyRegistry::instance().instantiate(
+                          options.hier.l2Policy, options.hier.l2);
+    CacheHierarchy hier(options.hier, std::move(l2_policy));
+    art.resolvedPolicies = {
+        {"L1I", hier.l1i().policy().describe()},
+        {"L1D", hier.l1d().policy().describe()},
+        {"L2", hier.l2().policy().describe()},
+        {"SLC", hier.slc().policy().describe()},
+    };
     if (options.reuse)
         hier.setL2Observer(options.reuse);
 
@@ -121,6 +136,23 @@ runWorkload(const SyntheticWorkload &workload,
     core.setCostlyTracker(options.costly);
     art.result = core.run(budget);
     return art;
+}
+
+} // namespace
+
+RunArtifacts
+runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
+{
+    return runWorkloadWith(workload, options, nullptr);
+}
+
+RunArtifacts
+runWorkload(const SyntheticWorkload &workload,
+            const L2PolicyMaker &make_policy, const SimOptions &options)
+{
+    panic_if(!make_policy, "runWorkload needs a policy maker");
+    return runWorkloadWith(workload, options,
+                           make_policy(options.hier.l2));
 }
 
 } // namespace trrip

@@ -22,7 +22,12 @@
 
 namespace trrip {
 
-/** Creates the L2 replacement policy for a given geometry. */
+/**
+ * Creates the L2 replacement policy for a given geometry.
+ * Deprecated: policies are now chosen per level through the
+ * PolicySpec fields of HierarchyParams (options.hier.l2Policy etc.);
+ * this maker survives only for the policy_factory compatibility shim.
+ */
 using L2PolicyMaker = std::function<
     std::unique_ptr<ReplacementPolicy>(const CacheGeometry &)>;
 
@@ -66,6 +71,13 @@ struct RunArtifacts
     ElfImage image;
     LoadStats loadStats;
     SimResult result;
+    /**
+     * Level label -> ReplacementPolicy::describe() of the policy that
+     * actually ran there ({"L1I", "LRU"}, {"L2", "TRRIP-2(bits=2)"},
+     * ...), recorded so result sinks can emit the fully resolved
+     * configuration alongside every row.
+     */
+    std::vector<std::pair<std::string, std::string>> resolvedPolicies;
 };
 
 /**
@@ -93,7 +105,19 @@ InstCount resolveProfileBudget(const SimOptions &options);
 Profile collectProfile(const SyntheticWorkload &workload,
                        InstCount instructions);
 
-/** Run the whole pipeline for one workload and one L2 policy. */
+/**
+ * Run the whole pipeline for one workload.  Every cache level's
+ * replacement policy comes from the per-level specs in
+ * options.hier (l1iPolicy / l1dPolicy / l2Policy / slcPolicy).
+ */
+RunArtifacts runWorkload(const SyntheticWorkload &workload,
+                         const SimOptions &options);
+
+/**
+ * Deprecated compatibility overload: @p make_policy overrides
+ * options.hier.l2Policy for the L2 (the other levels still follow
+ * their specs).  Use the spec-driven runWorkload() instead.
+ */
 RunArtifacts runWorkload(const SyntheticWorkload &workload,
                          const L2PolicyMaker &make_policy,
                          const SimOptions &options);

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/hierarchy.hh"
-#include "core/policy_factory.hh"
+#include "core/policy_registry.hh"
 #include "core/trrip_policy.hh"
 #include "sim/simulator.hh"
 #include "sw/temperature_classifier.hh"
@@ -17,6 +17,13 @@
 
 namespace trrip {
 namespace {
+
+SimOptions
+withL2(SimOptions options, const std::string &spec)
+{
+    options.hier.l2Policy = spec;
+    return options;
+}
 
 MemRequest
 inst(Addr a, Temperature t = Temperature::None)
@@ -38,7 +45,7 @@ class OneWayPolicies : public ::testing::TestWithParam<std::string>
 TEST_P(OneWayPolicies, DirectMappedCacheWorks)
 {
     const CacheGeometry geom{"dm", 1024, 1, 64}; // Direct mapped.
-    Cache cache(geom, makePolicy(GetParam(), geom));
+    Cache cache(geom, PolicySpec(GetParam()));
     Rng rng(3);
     for (int i = 0; i < 5000; ++i) {
         const MemRequest r = inst(rng.below(16 * 1024),
@@ -53,7 +60,7 @@ TEST_P(OneWayPolicies, DirectMappedCacheWorks)
 TEST_P(OneWayPolicies, FullyAssociativeCacheWorks)
 {
     const CacheGeometry geom{"fa", 1024, 16, 64}; // One set.
-    Cache cache(geom, makePolicy(GetParam(), geom));
+    Cache cache(geom, PolicySpec(GetParam()));
     Rng rng(3);
     for (int i = 0; i < 5000; ++i) {
         const MemRequest r = inst(rng.below(16 * 1024));
@@ -84,7 +91,8 @@ TEST(EdgeHierarchy, PrefetchEnabledChurnKeepsInvariants)
     hp.l2 = CacheGeometry{"L2", 8 * 1024, 4, 64};
     hp.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
     hp.enablePrefetch = true;
-    CacheHierarchy h(hp, makePolicy("TRRIP-2", hp.l2));
+    hp.l2Policy = "TRRIP-2";
+    CacheHierarchy h(hp);
     Rng rng(9);
     Cycles now = 0;
     for (int i = 0; i < 30000; ++i) {
@@ -117,7 +125,7 @@ TEST(EdgeHierarchy, NonInclusiveL2Supported)
     hp.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
     hp.l2Inclusive = false;
     hp.enablePrefetch = false;
-    CacheHierarchy h(hp, makePolicy("SRRIP", hp.l2));
+    CacheHierarchy h(hp); // hp.l2Policy defaults to SRRIP.
     // Exceed L2 capacity; with inclusion off, L1 lines survive L2
     // evictions.
     for (int i = 0; i < 128; ++i)
@@ -135,7 +143,7 @@ TEST(EdgeHierarchy, NonExclusiveSlcMode)
     hp.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
     hp.slcExclusive = false;
     hp.enablePrefetch = false;
-    CacheHierarchy h(hp, makePolicy("SRRIP", hp.l2));
+    CacheHierarchy h(hp); // hp.l2Policy defaults to SRRIP.
     for (int i = 0; i < 64; ++i)
         h.instFetch(inst(i * 4096), i * 100);
     // No crash and the SLC holds victims; duplicates are allowed.
@@ -204,7 +212,7 @@ TEST(EdgeWorkload, NoHelpersNoColdNoExternal)
     SimOptions opts;
     opts.maxInstructions = 50000;
     opts.profileInstructions = 20000;
-    const auto art = runWorkload(wl, policyMaker("TRRIP-1"), opts);
+    const auto art = runWorkload(wl, withL2(opts, "TRRIP-1"));
     EXPECT_GE(art.result.instructions, 50000u);
 }
 
@@ -220,7 +228,7 @@ TEST(EdgeWorkload, NoDataRegions)
     SimOptions opts;
     opts.maxInstructions = 50000;
     opts.profileInstructions = 20000;
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto art = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_EQ(art.result.l2.dataDemandAccesses, 0u);
 }
 
@@ -252,7 +260,7 @@ TEST(EdgeWorkload, HugeColdBloatLaysOutCleanly)
     SimOptions opts;
     opts.maxInstructions = 30000;
     opts.profileInstructions = 10000;
-    const auto art = runWorkload(wl, policyMaker("TRRIP-1"), opts);
+    const auto art = runWorkload(wl, withL2(opts, "TRRIP-1"));
     EXPECT_GE(art.image.textBytes(Temperature::Cold), 256ull << 20);
     EXPECT_GE(art.loadStats.codePages, (256ull << 20) / 4096);
 }

@@ -99,6 +99,34 @@ TEST(ExperimentRunner, ConfigAxisAppliesMutators)
               results.at(0, 0, 1).result().cycles);
 }
 
+TEST(ExperimentRunner, PerLevelPolicyThroughConfigAxis)
+{
+    // The L1-I (or any level) runs a registered policy purely via
+    // spec strings: the policy axis drives the L2, a config mutator
+    // assigns the L1-I spec.
+    exp::ExperimentSpec spec;
+    spec.name = "per_level";
+    spec.workloads = {"python"};
+    spec.policies = {"SRRIP"};
+    spec.options.maxInstructions = 200000;
+    spec.configs = {
+        {"l1i=LRU", nullptr},
+        {"l1i=TRRIP-1",
+         [](SimOptions &o) { o.hier.l1iPolicy = "TRRIP-1"; }},
+    };
+    exp::ExperimentRunner runner(2);
+    const auto results = runner.run(spec);
+    const auto &base = results.at(0, 0, 0).artifacts.resolvedPolicies;
+    const auto &trrip = results.at(0, 0, 1).artifacts.resolvedPolicies;
+    ASSERT_EQ(base.size(), 4u);
+    EXPECT_EQ(base[0].first, "L1I");
+    EXPECT_EQ(base[0].second, "LRU");
+    EXPECT_EQ(trrip[0].second, "TRRIP-1(bits=2)");
+    // A temperature-aware L1-I changes instruction-side behavior.
+    EXPECT_NE(results.at(0, 0, 0).result().cycles,
+              results.at(0, 0, 1).result().cycles);
+}
+
 TEST(ExperimentRunner, CustomRunCellBypassesSimulation)
 {
     exp::ExperimentSpec spec;
@@ -197,10 +225,19 @@ TEST(Sinks, JsonSinkWritesTrajectory)
     const std::string text = content.str();
     EXPECT_NE(text.find("\"experiment\": \"test_grid\""),
               std::string::npos);
-    EXPECT_NE(text.find("\"policy\": \"TRRIP-1\""), std::string::npos);
+    // Policy labels are canonicalized: every resolved parameter is
+    // spelled out, and each cell records the per-level policies.
+    EXPECT_NE(text.find("\"policy\": \"TRRIP-1(bits=2)\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"resolved_policies\": {\"L1I\": \"LRU\", "
+                        "\"L1D\": \"LRU\", \"L2\": "
+                        "\"TRRIP-1(bits=2)\", \"SLC\": \"LRU\"}"),
+              std::string::npos);
     EXPECT_NE(text.find("\"l2_inst_mpki\""), std::string::npos);
     EXPECT_NE(text.find("\"profile_collections\": 1"),
               std::string::npos);
+    // No timing fields: BENCH JSON must be byte-reproducible.
+    EXPECT_EQ(text.find("wall_seconds"), std::string::npos);
     std::remove(path.c_str());
 }
 
@@ -219,9 +256,29 @@ TEST(Sinks, CsvSinkWritesOneRowPerCell)
     std::size_t rows = 0;
     ASSERT_TRUE(std::getline(in, line));
     EXPECT_EQ(line.rfind("workload,policy,config", 0), 0u);
-    while (std::getline(in, line))
+    const auto fields = [](const std::string &row) {
+        // Count top-level commas (quoted fields hide theirs).
+        std::size_t n = 1;
+        bool quoted = false;
+        for (char c : row) {
+            quoted ^= c == '"';
+            n += !quoted && c == ',';
+        }
+        return n;
+    };
+    const std::size_t header_fields = fields(line);
+    bool saw_quoted_clip = false;
+    while (std::getline(in, line)) {
         ++rows;
+        // Canonical labels contain commas, so they must be quoted and
+        // every row must keep the header's column count.
+        EXPECT_EQ(fields(line), header_fields) << line;
+        if (line.find("\"CLIP(bits=2,leader_sets=32,psel_bits=10)\"") !=
+            std::string::npos)
+            saw_quoted_clip = true;
+    }
     EXPECT_EQ(rows, spec.cellCount());
+    EXPECT_TRUE(saw_quoted_clip);
     std::remove(path.c_str());
 }
 

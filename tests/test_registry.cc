@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the PolicyRegistry and the policy-spec grammar: round-trip
+ * parse/print for every registered policy, schema completeness,
+ * error diagnostics (unknown policy with nearest-match suggestion,
+ * unknown key, out-of-range and malformed values), per-level policy
+ * assignment, and byte-identical BENCH output between a bare policy
+ * name and its fully spelled-out spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cache/hierarchy.hh"
+#include "core/policy_registry.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "sim/simulator.hh"
+#include "workloads/builder.hh"
+#include "workloads/proxies.hh"
+
+namespace trrip {
+namespace {
+
+PolicyRegistry &
+reg()
+{
+    return PolicyRegistry::instance();
+}
+
+CacheGeometry
+geom()
+{
+    return CacheGeometry{"t", 8 * 1024, 4, 64};
+}
+
+// ------------------------------ grammar -----------------------------
+
+TEST(PolicySpecGrammar, BareNameParses)
+{
+    const PolicySpec spec("SRRIP");
+    EXPECT_EQ(spec.name(), "SRRIP");
+    EXPECT_TRUE(spec.params().empty());
+    EXPECT_EQ(spec.print(), "SRRIP");
+    EXPECT_EQ(spec.canonical(), "SRRIP(bits=2)");
+}
+
+TEST(PolicySpecGrammar, ParameterizedSpecParses)
+{
+    const PolicySpec spec("DRRIP(psel_bits=8, throttle=64)");
+    EXPECT_EQ(spec.name(), "DRRIP");
+    ASSERT_EQ(spec.params().size(), 2u);
+    EXPECT_TRUE(spec.has("psel_bits"));
+    EXPECT_TRUE(spec.has("throttle"));
+    EXPECT_EQ(spec.print(), "DRRIP(psel_bits=8,throttle=64)");
+    EXPECT_EQ(spec.canonical(),
+              "DRRIP(bits=2,leader_sets=32,psel_bits=8,throttle=64)");
+}
+
+TEST(PolicySpecGrammar, WhitespaceAndEmptyParensTolerated)
+{
+    EXPECT_EQ(PolicySpec("  TRRIP-2 ( bits = 3 ) ").print(),
+              "TRRIP-2(bits=3)");
+    EXPECT_EQ(PolicySpec("LRU()").print(), "LRU");
+}
+
+TEST(PolicySpecGrammar, RealParametersRoundTrip)
+{
+    const PolicySpec spec("Emissary(prob=0.25,ways=2)");
+    EXPECT_EQ(spec.print(), "Emissary(prob=0.25,ways=2)");
+    EXPECT_EQ(spec.canonical(), "Emissary(ways=2,prob=0.25)");
+}
+
+TEST(PolicySpecGrammar, RoundTripForEveryRegisteredPolicy)
+{
+    for (const auto &name : reg().names()) {
+        // Bare name.
+        const PolicySpec bare = reg().parse(name);
+        EXPECT_EQ(bare, reg().parse(bare.print())) << name;
+        // Canonical (all parameters explicit) must also round-trip.
+        const PolicySpec full = reg().parse(bare.canonical());
+        EXPECT_EQ(full, reg().parse(full.print())) << name;
+        EXPECT_EQ(full.canonical(), bare.canonical()) << name;
+    }
+}
+
+// --------------------------- completeness ---------------------------
+
+TEST(PolicyRegistryCompleteness, EveryPolicyConstructsWithDefaults)
+{
+    for (const auto &name : reg().names()) {
+        auto policy = reg().instantiate(name, geom());
+        ASSERT_NE(policy, nullptr) << name;
+        EXPECT_FALSE(policy->name().empty()) << name;
+        // describe() must be the canonical fully-resolved spec.
+        EXPECT_EQ(policy->describe(),
+                  reg().canonical(reg().parse(name)))
+            << name;
+    }
+}
+
+TEST(PolicyRegistryCompleteness, SchemasAreWellFormed)
+{
+    for (const auto &name : reg().names()) {
+        const PolicySchema &schema = reg().schema(name);
+        EXPECT_EQ(schema.name, name);
+        EXPECT_FALSE(schema.doc.empty()) << name;
+        for (const auto &p : schema.params) {
+            EXPECT_FALSE(p.key.empty()) << name;
+            EXPECT_FALSE(p.doc.empty()) << name << "." << p.key;
+            EXPECT_LE(p.minValue, p.maxValue) << name << "." << p.key;
+            EXPECT_GE(p.defaultValue, p.minValue) << name << "." << p.key;
+            EXPECT_LE(p.defaultValue, p.maxValue) << name << "." << p.key;
+        }
+    }
+}
+
+TEST(PolicyRegistryCompleteness, EvaluatedNamesAreRegistered)
+{
+    for (const auto &name : evaluatedPolicyNames())
+        EXPECT_TRUE(reg().known(name)) << name;
+    EXPECT_FALSE(reg().helpText().empty());
+}
+
+TEST(PolicyRegistryCompleteness, ParametersReachThePolicy)
+{
+    // Spot checks that spec values actually land in the instances.
+    auto srrip = reg().instantiate("SRRIP(bits=4)", geom());
+    EXPECT_EQ(srrip->describe(), "SRRIP(bits=4)");
+    auto ship = reg().instantiate("SHiP(shct_bits=14)", geom());
+    EXPECT_EQ(ship->describe(), "SHiP(bits=2,shct_bits=14)");
+    auto trrip = reg().instantiate("TRRIP-2(bits=3)", geom());
+    EXPECT_EQ(trrip->describe(), "TRRIP-2(bits=3)");
+    // name() must not claim the default configuration (satellite fix).
+    EXPECT_EQ(trrip->name(), "TRRIP-2(bits=3)");
+    EXPECT_EQ(reg().instantiate("TRRIP-2", geom())->name(), "TRRIP-2");
+}
+
+// ------------------------------ errors ------------------------------
+
+using PolicyRegistryDeath = ::testing::Test;
+
+TEST(PolicyRegistryDeath, UnknownPolicySuggestsNearestMatch)
+{
+    EXPECT_EXIT(reg().parse("TRRIP2"), ::testing::ExitedWithCode(1),
+                "did you mean 'TRRIP-2'");
+    EXPECT_EXIT(reg().parse("srip"), ::testing::ExitedWithCode(1),
+                "did you mean 'SRRIP'");
+}
+
+TEST(PolicyRegistryDeath, UnknownPolicyListsRegisteredNames)
+{
+    EXPECT_EXIT(reg().parse("NotAPolicy"),
+                ::testing::ExitedWithCode(1),
+                "registered: LRU, Random, SRRIP, BRRIP, DRRIP, SHiP, "
+                "CLIP, Emissary, TRRIP-1, TRRIP-2");
+}
+
+TEST(PolicyRegistryDeath, UnknownKeyListsParameters)
+{
+    EXPECT_EXIT(reg().parse("SRRIP(bitz=2)"),
+                ::testing::ExitedWithCode(1),
+                "no parameter 'bitz' \\(parameters: bits\\)");
+}
+
+TEST(PolicyRegistryDeath, OutOfRangeValueShowsBounds)
+{
+    EXPECT_EXIT(reg().parse("SRRIP(bits=9)"),
+                ::testing::ExitedWithCode(1),
+                "out of range: 9 not in \\[1, 8\\]");
+}
+
+TEST(PolicyRegistryDeath, MalformedSpecsRejected)
+{
+    EXPECT_EXIT(reg().parse("SRRIP(bits=2"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(reg().parse("SRRIP(bits)"),
+                ::testing::ExitedWithCode(1), "not key=value");
+    EXPECT_EXIT(reg().parse("SRRIP(bits=two)"),
+                ::testing::ExitedWithCode(1), "malformed value");
+    EXPECT_EXIT(reg().parse("SRRIP(bits=2.5)"),
+                ::testing::ExitedWithCode(1), "must be an integer");
+    EXPECT_EXIT(reg().parse("SRRIP(bits=2,bits=3)"),
+                ::testing::ExitedWithCode(1), "duplicate parameter");
+    EXPECT_EXIT(reg().parse(""), ::testing::ExitedWithCode(1),
+                "empty policy spec");
+}
+
+TEST(PolicyRegistryTryParse, ReportsWithoutDying)
+{
+    std::string error;
+    EXPECT_FALSE(reg().tryParse("Bogus", &error).has_value());
+    EXPECT_NE(error.find("unknown replacement policy"),
+              std::string::npos);
+    EXPECT_TRUE(reg().tryParse("CLIP(psel_bits=12)").has_value());
+    // Non-policy labels pass through canonicalLabel untouched.
+    EXPECT_EQ(reg().canonicalLabel("mcpat-row"), "mcpat-row");
+    EXPECT_EQ(reg().canonicalLabel("CLIP"),
+              "CLIP(bits=2,leader_sets=32,psel_bits=10)");
+}
+
+// -------------------------- extensibility ---------------------------
+
+TEST(PolicyRegistryExtension, UserPoliciesSelfRegister)
+{
+    // A one-off registration is immediately spec-addressable,
+    // including through the Cache constructor.
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        PolicyRegistry::instance().add(
+            {"TestPseudoLRU",
+             "test-only pseudo policy",
+             {{"depth", ParamType::Int, 2, 1, 8, "tree depth"}}},
+            [](const CacheGeometry &g, const ResolvedParams &p) {
+                (void)p;
+                return reg().instantiate("LRU", g);
+            });
+    }
+    EXPECT_TRUE(reg().known("TestPseudoLRU"));
+    Cache cache(geom(), PolicySpec("TestPseudoLRU(depth=3)"));
+    EXPECT_EQ(cache.policy().name(), "LRU");
+}
+
+// ------------------------- per-level specs --------------------------
+
+TEST(PerLevelPolicies, HierarchyBuildsEveryLevelFromSpecs)
+{
+    HierarchyParams hp;
+    hp.l1i = CacheGeometry{"L1I", 2 * 1024, 2, 64};
+    hp.l1d = CacheGeometry{"L1D", 2 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 8 * 1024, 4, 64};
+    hp.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
+    hp.l1iPolicy = "TRRIP-1(bits=3)";
+    hp.l1dPolicy = "Random";
+    hp.l2Policy = "TRRIP-2";
+    hp.slcPolicy = "SRRIP";
+    CacheHierarchy h(hp);
+    EXPECT_EQ(h.l1i().policy().describe(), "TRRIP-1(bits=3)");
+    EXPECT_EQ(h.l1d().policy().name(), "Random");
+    EXPECT_EQ(h.l2().policy().describe(), "TRRIP-2(bits=2)");
+    EXPECT_EQ(h.slc().policy().describe(), "SRRIP(bits=2)");
+}
+
+TEST(PerLevelPolicies, RunWorkloadRecordsResolvedPolicies)
+{
+    WorkloadParams params;
+    params.name = "tiny";
+    params.numHandlers = 16;
+    params.numHelpers = 8;
+    params.regions = {DataRegionSpec{"heap", 256 * 1024}};
+    const auto wl = buildWorkload(params);
+    SimOptions opts;
+    opts.maxInstructions = 100000;
+    opts.profileInstructions = 50000;
+    opts.hier.l1iPolicy = "TRRIP-1";
+    opts.hier.l2Policy = "TRRIP-2(bits=3)";
+    const auto art = runWorkload(wl, opts);
+    ASSERT_EQ(art.resolvedPolicies.size(), 4u);
+    EXPECT_EQ(art.resolvedPolicies[0].first, "L1I");
+    EXPECT_EQ(art.resolvedPolicies[0].second, "TRRIP-1(bits=2)");
+    EXPECT_EQ(art.resolvedPolicies[2].first, "L2");
+    EXPECT_EQ(art.resolvedPolicies[2].second, "TRRIP-2(bits=3)");
+}
+
+// --------------------- sink label determinism -----------------------
+
+TEST(RegistryDeterminism, CollidingAxisSpellingsRejected)
+{
+    // "SRRIP" and "SRRIP(bits=2)" are the same policy; as two axis
+    // entries their canonical sink rows would be indistinguishable.
+    exp::ExperimentSpec spec;
+    spec.name = "collide";
+    spec.workloads = {"python"};
+    spec.policies = {"SRRIP", "SRRIP(bits=2)"};
+    spec.options.maxInstructions = 100000;
+    exp::ExperimentRunner runner(1);
+    EXPECT_EXIT(runner.run(spec), ::testing::ExitedWithCode(1),
+                "resolve to the same policy");
+}
+
+TEST(RegistryDeterminism, BareAndExplicitSpecEmitIdenticalJson)
+{
+    // Acceptance check: "SRRIP" and "SRRIP(bits=2)" must produce a
+    // byte-identical BENCH_fig6_speedup.json.
+    const auto run_grid = [](const std::string &policy,
+                             const std::string &path) {
+        exp::ExperimentSpec spec;
+        spec.name = "fig6_speedup";
+        spec.workloads = {"python"};
+        spec.policies = {policy};
+        spec.options.maxInstructions = 150000;
+        exp::ExperimentRunner runner(2);
+        exp::JsonSink sink(path);
+        runner.run(spec, {&sink});
+        std::ifstream in(path);
+        std::stringstream content;
+        content << in.rdbuf();
+        std::remove(path.c_str());
+        return content.str();
+    };
+    const std::string bare =
+        run_grid("SRRIP", "test_registry_bare.json");
+    const std::string full =
+        run_grid("SRRIP(bits=2)", "test_registry_full.json");
+    EXPECT_FALSE(bare.empty());
+    EXPECT_EQ(bare, full);
+}
+
+} // namespace
+} // namespace trrip

@@ -19,7 +19,7 @@
 #include "cache/replacement/rrip.hh"
 #include "cache/replacement/set_dueling.hh"
 #include "cache/replacement/ship.hh"
-#include "core/policy_factory.hh"
+#include "core/policy_registry.hh"
 #include "util/rng.hh"
 
 namespace trrip {
@@ -29,6 +29,12 @@ CacheGeometry
 geom4w()
 {
     return CacheGeometry{"t", 4 * 1024, 4, 64};
+}
+
+std::unique_ptr<ReplacementPolicy>
+make(const std::string &spec, const CacheGeometry &geom)
+{
+    return PolicyRegistry::instance().instantiate(spec, geom);
 }
 
 MemRequest
@@ -272,7 +278,7 @@ TEST(Drrip, PrefetchMissesDoNotTrainDuel)
 
 TEST(Ship, DeadSignatureInsertsDistant)
 {
-    ShipPolicy p(geom4w(), 2, 1024);
+    ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
     auto lines = validSet(4);
     SetView v(lines.data(), lines.size());
     const Addr pc = 0x4000;
@@ -290,7 +296,7 @@ TEST(Ship, DeadSignatureInsertsDistant)
 
 TEST(Ship, ReusedSignatureInsertsIntermediate)
 {
-    ShipPolicy p(geom4w(), 2, 1024);
+    ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
     auto lines = validSet(4);
     SetView v(lines.data(), lines.size());
     MemRequest r = inst(0x100);
@@ -305,7 +311,7 @@ TEST(Ship, ReusedSignatureInsertsIntermediate)
 
 TEST(Ship, DataLinesFollowSrrip)
 {
-    ShipPolicy p(geom4w(), 2, 1024);
+    ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
     auto lines = validSet(4);
     SetView v(lines.data(), lines.size());
     p.onFill(0, 0, v, load(0x100));
@@ -389,22 +395,25 @@ TEST(Emissary, FillWithHintSetsPriority)
     EXPECT_FALSE(lines[1].priority);
 }
 
-// ---------------------- Factory and properties ----------------------
+// ---------------------- Registry and properties ---------------------
 
-TEST(PolicyFactory, CreatesEveryEvaluatedPolicy)
+TEST(PolicyRegistryCreation, CreatesEveryEvaluatedPolicy)
 {
     for (const auto &name : evaluatedPolicyNames()) {
-        auto p = makePolicy(name, geom4w());
+        auto p = make(name, geom4w());
         ASSERT_NE(p, nullptr);
         EXPECT_EQ(p->name(), name);
     }
-    EXPECT_NE(makePolicy("Random", geom4w()), nullptr);
+    EXPECT_NE(make("Random", geom4w()), nullptr);
 }
 
-TEST(PolicyFactoryDeath, UnknownNameIsFatal)
+TEST(PolicyRegistryCreation, ParameterizedSpecsResolve)
 {
-    EXPECT_EXIT(makePolicy("NotAPolicy", geom4w()),
-                ::testing::ExitedWithCode(1), "unknown");
+    auto p = make("SRRIP(bits=3)", geom4w());
+    auto *srrip = dynamic_cast<SrripPolicy *>(p.get());
+    ASSERT_NE(srrip, nullptr);
+    EXPECT_EQ(srrip->distant(), 7);
+    EXPECT_EQ(srrip->describe(), "SRRIP(bits=3)");
 }
 
 /** Property harness: run a mixed random workload through a Cache. */
@@ -443,7 +452,7 @@ class PolicyProperty : public ::testing::TestWithParam<std::string>
     static std::uint64_t
     runMisses(const std::string &policy, std::uint64_t seed)
     {
-        Cache cache(geom4w(), makePolicy(policy, geom4w()));
+        Cache cache(geom4w(), make(policy, geom4w()));
         for (const auto &req : trace(seed, 30000)) {
             if (!cache.access(req))
                 cache.fill(req);
@@ -470,7 +479,7 @@ TEST_P(PolicyProperty, Deterministic)
 
 TEST_P(PolicyProperty, VictimAlwaysValidWay)
 {
-    auto policy = makePolicy(GetParam(), geom4w());
+    auto policy = make(GetParam(), geom4w());
     auto lines = validSet(4);
     SetView v(lines.data(), lines.size());
     Rng rng(3);
@@ -488,7 +497,7 @@ TEST_P(PolicyProperty, VictimAlwaysValidWay)
 
 TEST_P(PolicyProperty, CacheInvariantUnderChurn)
 {
-    Cache cache(geom4w(), makePolicy(GetParam(), geom4w()));
+    Cache cache(geom4w(), make(GetParam(), geom4w()));
     for (const auto &req : trace(21, 20000)) {
         if (!cache.access(req))
             cache.fill(req);

@@ -7,7 +7,6 @@
 
 #include <gtest/gtest.h>
 
-#include "core/policy_factory.hh"
 #include "sim/simulator.hh"
 #include "workloads/proxies.hh"
 
@@ -35,6 +34,14 @@ fastOpts()
     o.maxInstructions = 200000;
     o.profileInstructions = 100000;
     return o;
+}
+
+/** @p options with the L2 policy spec set (the old policyMaker path). */
+SimOptions
+withL2(SimOptions options, const std::string &spec)
+{
+    options.hier.l2Policy = spec;
+    return options;
 }
 
 TEST(TopDownTest, FractionsSumToOne)
@@ -83,7 +90,7 @@ TEST(Simulator, ProfileCoversExecutedBlocks)
 TEST(Simulator, RunsExactInstructionBudget)
 {
     const auto wl = buildWorkload(tinyParams());
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), fastOpts());
+    const auto art = runWorkload(wl, withL2(fastOpts(), "SRRIP"));
     EXPECT_GE(art.result.instructions, 200000u);
     EXPECT_LT(art.result.instructions, 201000u);
     EXPECT_GT(art.result.cycles, 0.0);
@@ -92,7 +99,7 @@ TEST(Simulator, RunsExactInstructionBudget)
 TEST(Simulator, CyclesMatchTopdownTotal)
 {
     const auto wl = buildWorkload(tinyParams());
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), fastOpts());
+    const auto art = runWorkload(wl, withL2(fastOpts(), "SRRIP"));
     EXPECT_NEAR(art.result.cycles, art.result.topdown.total(),
                 art.result.cycles * 1e-9);
 }
@@ -100,8 +107,8 @@ TEST(Simulator, CyclesMatchTopdownTotal)
 TEST(Simulator, DeterministicAcrossRuns)
 {
     const auto wl = buildWorkload(tinyParams());
-    const auto a = runWorkload(wl, policyMaker("TRRIP-1"), fastOpts());
-    const auto b = runWorkload(wl, policyMaker("TRRIP-1"), fastOpts());
+    const auto a = runWorkload(wl, withL2(fastOpts(), "TRRIP-1"));
+    const auto b = runWorkload(wl, withL2(fastOpts(), "TRRIP-1"));
     EXPECT_DOUBLE_EQ(a.result.cycles, b.result.cycles);
     EXPECT_EQ(a.result.l2.demandMisses, b.result.l2.demandMisses);
     EXPECT_EQ(a.result.branch.mispredicts, b.result.branch.mispredicts);
@@ -110,7 +117,7 @@ TEST(Simulator, DeterministicAcrossRuns)
 TEST(Simulator, PgoRunPopulatesTemperatureSections)
 {
     const auto wl = buildWorkload(tinyParams());
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), fastOpts());
+    const auto art = runWorkload(wl, withL2(fastOpts(), "SRRIP"));
     EXPECT_TRUE(art.image.pgo);
     EXPECT_GT(art.image.textBytes(Temperature::Hot), 0u);
     EXPECT_GT(art.loadStats.pagesByTemp[encodeTemperature(
@@ -123,7 +130,7 @@ TEST(Simulator, NonPgoRunHasNoTemperature)
     const auto wl = buildWorkload(tinyParams());
     SimOptions opts = fastOpts();
     opts.pgo = false;
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto art = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_FALSE(art.image.pgo);
     EXPECT_EQ(art.image.textBytes(Temperature::Hot), 0u);
     EXPECT_EQ(art.result.l2HotEvictions, 0u);
@@ -138,9 +145,9 @@ TEST(Simulator, PgoLayoutImprovesFrontend)
     const auto wl = buildWorkload(params);
     SimOptions opts = fastOpts();
     opts.maxInstructions = 500000;
-    const auto pgo = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto pgo = runWorkload(wl, withL2(opts, "SRRIP"));
     opts.pgo = false;
-    const auto nonpgo = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto nonpgo = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_LT(pgo.result.cycles, nonpgo.result.cycles);
     EXPECT_LT(pgo.result.topdown.ifetch, nonpgo.result.topdown.ifetch);
 }
@@ -149,9 +156,9 @@ TEST(Simulator, FdipReducesFetchStalls)
 {
     const auto wl = buildWorkload(tinyParams());
     SimOptions opts = fastOpts();
-    const auto with_fdip = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto with_fdip = runWorkload(wl, withL2(opts, "SRRIP"));
     opts.core.fdipEnabled = false;
-    const auto without = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto without = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_LE(with_fdip.result.topdown.ifetch,
               without.result.topdown.ifetch);
     EXPECT_GT(with_fdip.result.prefetch.issued, 0u);
@@ -162,9 +169,9 @@ TEST(Simulator, MispredictPenaltyScalesMispredBucket)
     const auto wl = buildWorkload(tinyParams());
     SimOptions opts = fastOpts();
     opts.core.mispredictPenalty = 8;
-    const auto base = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto base = runWorkload(wl, withL2(opts, "SRRIP"));
     opts.core.mispredictPenalty = 24;
-    const auto heavy = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto heavy = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_GT(heavy.result.topdown.mispred,
               2.0 * base.result.topdown.mispred);
 }
@@ -173,9 +180,9 @@ TEST(Simulator, SlowerDramRaisesStallBuckets)
 {
     const auto wl = buildWorkload(tinyParams());
     SimOptions opts = fastOpts();
-    const auto fast = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto fast = runWorkload(wl, withL2(opts, "SRRIP"));
     opts.hier.dram.latency = 1200;
-    const auto slow = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto slow = runWorkload(wl, withL2(opts, "SRRIP"));
     EXPECT_GT(slow.result.cycles, fast.result.cycles);
     EXPECT_GE(slow.result.topdown.mem, fast.result.topdown.mem);
 }
@@ -187,15 +194,13 @@ TEST(Simulator, BackendParamsFeedTopdown)
     params.issueStallPerInstr = 0.0;
     params.otherStallPerInstr = 0.0;
     const auto wl0 = buildWorkload(params);
-    const auto none = runWorkload(wl0, policyMaker("SRRIP"),
-                                  fastOpts());
+    const auto none = runWorkload(wl0, withL2(fastOpts(), "SRRIP"));
     EXPECT_DOUBLE_EQ(none.result.topdown.depend, 0.0);
     EXPECT_DOUBLE_EQ(none.result.topdown.issue, 0.0);
 
     params.dependStallPerInstr = 0.3;
     const auto wl1 = buildWorkload(params);
-    const auto some = runWorkload(wl1, policyMaker("SRRIP"),
-                                  fastOpts());
+    const auto some = runWorkload(wl1, withL2(fastOpts(), "SRRIP"));
     EXPECT_NEAR(some.result.topdown.depend,
                 0.3 * static_cast<double>(some.result.instructions),
                 1e-6 * static_cast<double>(some.result.instructions));
@@ -208,7 +213,7 @@ TEST(Simulator, PrecomputedProfileShortCircuits)
         std::make_shared<const Profile>(collectProfile(wl, 100000));
     SimOptions opts = fastOpts();
     opts.precomputedProfile = prof;
-    const auto art = runWorkload(wl, policyMaker("SRRIP"), opts);
+    const auto art = runWorkload(wl, withL2(opts, "SRRIP"));
     // Shared without copying: the artifacts reference the same object.
     EXPECT_EQ(art.profile.get(), prof.get());
     EXPECT_EQ(art.profile->total(), prof->total());
@@ -239,7 +244,7 @@ TEST(Simulator, TemperatureReachesL2Requests)
     SimOptions opts = fastOpts();
     ReuseDistanceProfiler profiler(opts.hier.l2);
     opts.reuse = &profiler;
-    runWorkload(wl, policyMaker("TRRIP-1"), opts);
+    runWorkload(wl, withL2(opts, "TRRIP-1"));
     // Hot instruction accesses were observed at the L2 (the profiler
     // only records hot-line reuses).
     EXPECT_GT(profiler.base().total(), 0u);
@@ -255,8 +260,8 @@ TEST(Simulator, HotEvictionsDropUnderTrrip)
     const auto wl = buildWorkload(params);
     SimOptions opts = fastOpts();
     opts.maxInstructions = 800000;
-    const auto srrip = runWorkload(wl, policyMaker("SRRIP"), opts);
-    const auto trrip = runWorkload(wl, policyMaker("TRRIP-1"), opts);
+    const auto srrip = runWorkload(wl, withL2(opts, "SRRIP"));
+    const auto trrip = runWorkload(wl, withL2(opts, "TRRIP-1"));
     EXPECT_LT(trrip.result.l2HotEvictions, srrip.result.l2HotEvictions);
 }
 
