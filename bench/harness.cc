@@ -27,6 +27,32 @@ defaultOptions()
     return opts;
 }
 
+std::vector<std::string>
+envList(const char *name, std::vector<std::string> fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    // Split on commas outside parentheses, so parameterized policy
+    // specs like "DRRIP(psel_bits=10,throttle=32)" stay whole.
+    std::vector<std::string> out;
+    std::string item;
+    int depth = 0;
+    for (const char *p = v;; ++p) {
+        if (*p == '\0' || (*p == ',' && depth == 0)) {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+            if (*p == '\0')
+                break;
+            continue;
+        }
+        depth += *p == '(' ? 1 : (*p == ')' ? -1 : 0);
+        item += *p;
+    }
+    return out.empty() ? fallback : out;
+}
+
 std::vector<std::unique_ptr<exp::ResultSink>>
 standardSinks()
 {

@@ -10,6 +10,7 @@
 #define TRRIP_BENCH_HARNESS_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exp/runner.hh"
@@ -19,6 +20,14 @@ namespace trrip::bench {
 
 /** Default SimOptions for bench runs (paper Table 1 configuration). */
 SimOptions defaultOptions();
+
+/**
+ * Comma list from the environment, or @p fallback when unset/empty.
+ * Commas inside parentheses belong to the item, so parameterized
+ * policy specs like "DRRIP(psel_bits=10,throttle=32)" stay whole.
+ */
+std::vector<std::string> envList(const char *name,
+                                 std::vector<std::string> fallback);
 
 /**
  * The standard sink set for a bench run: a JSON trajectory writer

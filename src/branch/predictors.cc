@@ -6,7 +6,7 @@ namespace trrip {
 
 GsharePredictor::GsharePredictor(std::size_t entries,
                                  unsigned history_bits) :
-    pht_(entries, SatCounter(2, 1)),
+    pht_(entries, 1),
     historyMask_((1ull << history_bits) - 1)
 {
     panic_if(entries == 0 || (entries & (entries - 1)) != 0,
@@ -22,17 +22,17 @@ GsharePredictor::index(Addr pc) const
 bool
 GsharePredictor::predict(Addr pc) const
 {
-    return pht_[index(pc)].isSet();
+    return pht_[index(pc)] > 1;
 }
 
 void
 GsharePredictor::update(Addr pc, bool taken)
 {
-    SatCounter &ctr = pht_[index(pc)];
+    std::uint8_t &ctr = pht_[index(pc)];
     if (taken)
-        ctr.increment();
+        ctr += ctr < 3 ? 1 : 0;
     else
-        ctr.decrement();
+        ctr -= ctr > 0 ? 1 : 0;
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
 }
 

@@ -58,7 +58,12 @@ class GsharePredictor
   private:
     std::size_t index(Addr pc) const;
 
-    std::vector<SatCounter> pht_;
+    /**
+     * 2-bit counters packed one per byte (clamped [0, 3], predict
+     * taken when > 1) -- equivalent to SatCounter(2, 1) but the whole
+     * PHT stays resident in the host L1 cache.
+     */
+    std::vector<std::uint8_t> pht_;
     std::uint64_t history_ = 0;
     std::uint64_t historyMask_;
 };

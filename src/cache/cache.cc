@@ -1,16 +1,30 @@
 #include "cache/cache.hh"
 
+#include <bit>
+#include <cassert>
+
+#include "cache/replacement/lru.hh"
 #include "util/logging.hh"
 
 namespace trrip {
 
 Cache::Cache(const CacheGeometry &geom,
              std::unique_ptr<ReplacementPolicy> policy) :
-    geom_(geom), policy_(std::move(policy)),
-    lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc)
+    geom_(geom), assoc_(geom.assoc), policy_(std::move(policy)),
+    lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc),
+    tags_(lines_.size(), 0),
+    freeWays_(geom.numSets(), geom.assoc)
 {
     geom_.check();
     panic_if(!policy_, geom_.name, ": null replacement policy");
+    lru_ = dynamic_cast<LruPolicy *>(policy_.get());
+    if (lru_)
+        lruStamps_.assign(lines_.size(), 0);
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(geom_.lineBytes)));
+    setMask_ = geom_.numSets() - 1;
+    tagShift_ = lineShift_ + static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(geom_.numSets())));
 }
 
 Cache::Cache(const CacheGeometry &geom, const PolicySpec &policy) :
@@ -21,103 +35,139 @@ Cache::Cache(const CacheGeometry &geom, const PolicySpec &policy) :
 SetView
 Cache::setView(std::uint32_t set)
 {
-    return SetView(&lines_[static_cast<std::size_t>(set) * geom_.assoc],
-                   geom_.assoc);
+    return SetView(&lines_[static_cast<std::size_t>(set) * assoc_],
+                   assoc_);
 }
 
-int
-Cache::findWay(std::uint32_t set, Addr tag) const
+ConstSetView
+Cache::setView(std::uint32_t set) const
 {
-    const std::size_t base = static_cast<std::size_t>(set) * geom_.assoc;
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        const CacheLine &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    return ConstSetView(
+        &lines_[static_cast<std::size_t>(set) * assoc_], assoc_);
 }
 
 bool
-Cache::access(const MemRequest &req)
+Cache::access(const MemRequest &req, bool mark_dirty_on_write_hit)
 {
-    const std::uint32_t set = geom_.setIndex(req.paddr);
-    const Addr tag = geom_.tag(req.paddr);
+    const std::uint32_t set = setOf(req.paddr);
+    const Addr tag = tagOf(req.paddr);
     const int way = findWay(set, tag);
     const bool hit = way >= 0;
 
-    if (!req.isPrefetch()) {
-        ++stats_.demandAccesses;
-        if (req.isInst())
-            ++stats_.instDemandAccesses;
-        else
-            ++stats_.dataDemandAccesses;
-        if (!hit) {
-            ++stats_.demandMisses;
-            if (req.isInst())
-                ++stats_.instDemandMisses;
-            else
-                ++stats_.dataDemandMisses;
-        }
-    }
+    if (!req.isPrefetch())
+        countDemand(req, hit);
 
-    if (hit)
-        policy_->onHit(set, static_cast<std::uint32_t>(way),
-                       setView(set), req);
+    if (hit) {
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * assoc_ +
+            static_cast<std::uint32_t>(way);
+        if (lru_) {
+            lruStamps_[idx] = lru_->nextTick();
+        } else {
+            policy_->onHit(set, static_cast<std::uint32_t>(way),
+                           setView(set), req);
+        }
+        if (mark_dirty_on_write_hit && req.isWrite())
+            lines_[idx].dirty = true;
+    }
     return hit;
 }
 
 bool
-Cache::contains(Addr paddr) const
+Cache::accessInvalidate(const MemRequest &req)
 {
-    return findWay(geom_.setIndex(paddr), geom_.tag(paddr)) >= 0;
+    const std::uint32_t set = setOf(req.paddr);
+    const Addr tag = tagOf(req.paddr);
+    const int way = findWay(set, tag);
+    const bool hit = way >= 0;
+
+    if (!req.isPrefetch())
+        countDemand(req, hit);
+
+    if (hit) {
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * assoc_ +
+            static_cast<std::uint32_t>(way);
+        // The policy hit handler still runs (its state -- the LRU
+        // tick, SHiP outcome bits -- must advance exactly as in
+        // access()), then the line leaves the cache.
+        if (lru_)
+            lruStamps_[idx] = lru_->nextTick();
+        else
+            policy_->onHit(set, static_cast<std::uint32_t>(way),
+                           setView(set), req);
+        lines_[idx].invalidate();
+        tags_[idx] = 0;
+        ++freeWays_[set];
+        ++stats_.invalidations;
+    }
+    return hit;
 }
 
 const CacheLine *
 Cache::find(Addr paddr) const
 {
-    const int way = findWay(geom_.setIndex(paddr), geom_.tag(paddr));
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
     if (way < 0)
         return nullptr;
-    return &lines_[static_cast<std::size_t>(geom_.setIndex(paddr)) *
-                       geom_.assoc + static_cast<std::uint32_t>(way)];
+    return &lines_[static_cast<std::size_t>(set) * assoc_ +
+                   static_cast<std::uint32_t>(way)];
+}
+
+CacheLine *
+Cache::find(Addr paddr)
+{
+    return const_cast<CacheLine *>(
+        static_cast<const Cache *>(this)->find(paddr));
 }
 
 void
 Cache::markDirty(Addr paddr)
 {
-    const std::uint32_t set = geom_.setIndex(paddr);
-    const int way = findWay(set, geom_.tag(paddr));
-    if (way >= 0)
-        lines_[static_cast<std::size_t>(set) * geom_.assoc +
-               static_cast<std::uint32_t>(way)].dirty = true;
+    if (CacheLine *line = find(paddr))
+        line->dirty = true;
 }
 
 std::optional<CacheLine>
 Cache::fill(const MemRequest &req)
 {
-    const std::uint32_t set = geom_.setIndex(req.paddr);
-    const Addr tag = geom_.tag(req.paddr);
-    panic_if(findWay(set, tag) >= 0,
-             geom_.name, ": fill of already-present line");
+    const std::uint32_t set = setOf(req.paddr);
+    const Addr tag = tagOf(req.paddr);
+    assert(findWay(set, tag) < 0 &&
+           "fill of already-present line");
+    // The packed word stores (tag << 1) | valid: decomposed tags must
+    // leave the top bit free (physical addresses stay below 2^63).
+    assert((tag >> 63) == 0 && "tag too wide for the packed tag word");
 
-    SetView lines = setView(set);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
 
-    // Prefer an invalid way; otherwise ask the policy for a victim.
-    std::uint32_t way = geom_.assoc;
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        if (!lines[w].valid) {
-            way = w;
-            break;
-        }
-    }
-
+    std::uint32_t way;
     std::optional<CacheLine> evicted;
-    if (way == geom_.assoc) {
-        way = policy_->victim(set, lines, req);
-        panic_if(way >= geom_.assoc,
-                 geom_.name, ": policy returned invalid victim way");
-        CacheLine &victim = lines[way];
-        policy_->onEvict(set, way, victim);
+    if (freeWays_[set] > 0) {
+        // First invalid way, in way order (one bit test per word).
+        way = 0;
+        while ((tags_[base + way] & 1) != 0)
+            ++way;
+        --freeWays_[set];
+    } else {
+        if (lru_) {
+            // Inline LRU victim scan over the packed stamps (first
+            // minimum, as in LruPolicy::victim); LruPolicy has no
+            // onEvict bookkeeping.
+            const std::uint64_t *stamps = &lruStamps_[base];
+            way = 0;
+            for (std::uint32_t w = 1; w < assoc_; ++w) {
+                if (stamps[w] < stamps[way])
+                    way = w;
+            }
+        } else {
+            way = policy_->victim(set, setView(set), req);
+            panic_if(way >= assoc_,
+                     geom_.name, ": policy returned invalid victim way");
+            policy_->onEvict(set, way, lines_[base + way]);
+        }
+        const CacheLine &victim = lines_[base + way];
         ++stats_.evictions;
         ++stats_.evictionsByTemp[encodeTemperature(victim.temp)];
         if (victim.isInst)
@@ -129,33 +179,45 @@ Cache::fill(const MemRequest &req)
         evicted = victim;
     }
 
-    CacheLine &line = lines[way];
-    line.invalidate();
+    // Write every field directly; no invalidate()-then-reassign.
+    CacheLine &line = lines_[base + way];
     line.valid = true;
+    line.dirty = req.isWrite();
     line.tag = tag;
     line.addr = geom_.lineAddr(req.paddr);
     line.isInst = req.isInst();
     line.temp = req.isInst() ? req.temp : Temperature::None;
-    line.dirty = req.isWrite();
+    line.rrpv = 0;
+    line.lruStamp = 0;
+    line.signature = 0;
+    line.outcome = false;
+    line.priority = false;
+    tags_[base + way] = (tag << 1) | 1;
 
     ++stats_.fills;
     if (req.isPrefetch())
         ++stats_.prefetchFills;
-    policy_->onFill(set, way, lines, req);
+    if (lru_)
+        lruStamps_[base + way] = lru_->nextTick();
+    else
+        policy_->onFill(set, way, setView(set), req);
     return evicted;
 }
 
 std::optional<CacheLine>
 Cache::invalidate(Addr paddr)
 {
-    const std::uint32_t set = geom_.setIndex(paddr);
-    const int way = findWay(set, geom_.tag(paddr));
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
     if (way < 0)
         return std::nullopt;
-    CacheLine &line = lines_[static_cast<std::size_t>(set) * geom_.assoc +
-                             static_cast<std::uint32_t>(way)];
+    const std::size_t idx = static_cast<std::size_t>(set) * assoc_ +
+                            static_cast<std::uint32_t>(way);
+    CacheLine &line = lines_[idx];
     const CacheLine copy = line;
     line.invalidate();
+    tags_[idx] = 0;
+    ++freeWays_[set];
     ++stats_.invalidations;
     return copy;
 }
@@ -164,8 +226,8 @@ std::uint64_t
 Cache::residentLines() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines_)
-        n += line.valid ? 1 : 0;
+    for (const std::uint64_t word : tags_)
+        n += word & 1;
     return n;
 }
 
@@ -174,6 +236,10 @@ Cache::reset()
 {
     for (auto &line : lines_)
         line.invalidate();
+    tags_.assign(tags_.size(), 0);
+    if (lru_)
+        lruStamps_.assign(lruStamps_.size(), 0);
+    freeWays_.assign(freeWays_.size(), assoc_);
     stats_ = CacheStats();
 }
 

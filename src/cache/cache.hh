@@ -2,6 +2,14 @@
  * @file
  * A single set-associative cache level with a pluggable replacement
  * policy and instrumentation counters.
+ *
+ * Lookups run on a structure-of-arrays tag path: a packed per-set
+ * array of (tag << 1) | valid words, so findWay() is a tight scan
+ * over contiguous 8-byte words instead of a stride over ~48-byte
+ * CacheLine structs, plus a per-set free-way count so fill() skips
+ * the invalid-way scan when the set is full.  The CacheLine array
+ * keeps the policy metadata and stays authoritative for everything
+ * except presence; the packed tags mirror (valid, tag) exactly.
  */
 
 #ifndef TRRIP_CACHE_CACHE_HH
@@ -62,14 +70,32 @@ class Cache
     /**
      * Look up @p req; on hit run the policy hit handler and return
      * true.  Never fills.  Demand accesses update the counters.
+     * @p mark_dirty_on_write_hit folds the store-hit markDirty()
+     * into the same tag probe (the L1D demand path).
      */
-    bool access(const MemRequest &req);
+    bool access(const MemRequest &req,
+                bool mark_dirty_on_write_hit = false);
+
+    /**
+     * access() immediately followed by invalidate() of the hit line,
+     * in one tag probe -- the exclusive-SLC hit path, where a hit
+     * always moves the line back up to the L2.  Stats and policy
+     * effects are identical to the two separate calls.
+     */
+    bool accessInvalidate(const MemRequest &req);
 
     /** True if the line holding @p paddr is present. */
-    bool contains(Addr paddr) const;
+    bool
+    contains(Addr paddr) const
+    {
+        return findWay(setOf(paddr), tagOf(paddr)) >= 0;
+    }
 
     /** Pointer to the line holding @p paddr, or nullptr. */
     const CacheLine *find(Addr paddr) const;
+
+    /** Mutable line lookup (priority marking etc.). */
+    CacheLine *find(Addr paddr);
 
     /** Mark the line holding @p paddr dirty (store hit). */
     void markDirty(Addr paddr);
@@ -92,15 +118,83 @@ class Cache
     /** Direct set view for tests and analysis. */
     SetView setView(std::uint32_t set);
 
+    /** Read-only set view (usable on a const cache). */
+    ConstSetView setView(std::uint32_t set) const;
+
     /** Reset contents and statistics. */
     void reset();
 
   private:
-    int findWay(std::uint32_t set, Addr tag) const;
+    /**
+     * Way holding (set, tag), or -1.  Branchless scan of the packed
+     * tag words of the set (a way matches when its word equals
+     * (tag << 1) | 1): no early exit, so the compiler turns the loop
+     * into compare+select over contiguous words -- faster than a
+     * branchy scan when the hit way is unpredictable, and at most one
+     * way can match.
+     */
+    int
+    findWay(std::uint32_t set, Addr tag) const
+    {
+        const std::uint64_t *words =
+            &tags_[static_cast<std::size_t>(set) * assoc_];
+        const std::uint64_t want = (tag << 1) | 1;
+        int way = -1;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (words[w] == want)
+                way = static_cast<int>(w);
+        }
+        return way;
+    }
+
+    /** Demand hit/miss counter updates shared by the access paths. */
+    void
+    countDemand(const MemRequest &req, bool hit)
+    {
+        ++stats_.demandAccesses;
+        if (req.isInst())
+            ++stats_.instDemandAccesses;
+        else
+            ++stats_.dataDemandAccesses;
+        if (!hit) {
+            ++stats_.demandMisses;
+            if (req.isInst())
+                ++stats_.instDemandMisses;
+            else
+                ++stats_.dataDemandMisses;
+        }
+    }
+
+    /** Address decomposition on cached constants (geom_.check()ed). */
+    std::uint32_t
+    setOf(Addr paddr) const
+    {
+        return static_cast<std::uint32_t>(paddr >> lineShift_) &
+               setMask_;
+    }
+    Addr tagOf(Addr paddr) const { return paddr >> tagShift_; }
 
     CacheGeometry geom_;
+    std::uint32_t assoc_;   //!< Cached geom_.assoc for the tag scan.
+    std::uint32_t lineShift_ = 6, setMask_ = 0, tagShift_ = 6;
     std::unique_ptr<ReplacementPolicy> policy_;
+    /** Non-null when policy_ is LRU: hits/fills stamp inline instead
+     *  of a virtual dispatch (see LruPolicy::nextTick). */
+    class LruPolicy *lru_ = nullptr;
     std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major.
+    /** Packed (tag << 1) | valid per way, set-major (the scan path). */
+    std::vector<std::uint64_t> tags_;
+    /**
+     * LRU-fast-path recency stamps, packed set-major (allocated only
+     * when the policy is LRU).  With the fast path active the cache
+     * owns every stamp write, so hits touch only this array and the
+     * packed tags -- never the CacheLine structs -- and the victim
+     * scan reads 8 bytes per way instead of a whole CacheLine.  The
+     * CacheLine::lruStamp field is unused (stays 0) in that case.
+     */
+    std::vector<std::uint64_t> lruStamps_;
+    /** Invalid ways per set; fill() skips its scan when zero. */
+    std::vector<std::uint32_t> freeWays_;
     CacheStats stats_;
 };
 

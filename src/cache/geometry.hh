@@ -1,11 +1,21 @@
 /**
  * @file
  * Set-associative cache geometry and address decomposition helpers.
+ *
+ * Address decomposition (setIndex/tag/lineAddr) is pure shift/mask on
+ * the per-access hot path: the shift amounts and masks are derived
+ * once from the power-of-two layout -- by check(), which every cache
+ * construction path calls -- instead of re-dividing by lineBytes and
+ * numSets() on every access.  The derived fields refresh lazily if a
+ * geometry is used before check() (tests, analysis helpers), so the
+ * shift/mask forms are always equivalent to the original division
+ * forms (a / lineBytes) & (sets - 1) and (a / lineBytes) / sets.
  */
 
 #ifndef TRRIP_CACHE_GEOMETRY_HH
 #define TRRIP_CACHE_GEOMETRY_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -29,12 +39,15 @@ struct CacheGeometry
     std::uint32_t
     numSets() const
     {
-        const std::uint64_t sets = sizeBytes / (static_cast<std::uint64_t>(
-                                       assoc) * lineBytes);
-        return static_cast<std::uint32_t>(sets);
+        ensureDerived();
+        return sets_;
     }
 
-    /** Validate that the geometry is a consistent power-of-two layout. */
+    /**
+     * Validate that the geometry is a consistent power-of-two layout
+     * and (re)compute the derived shift/mask constants.  Mutating
+     * sizeBytes/assoc/lineBytes after use requires another check().
+     */
     void
     check() const
     {
@@ -44,8 +57,8 @@ struct CacheGeometry
         fatal_if(sizeBytes % (static_cast<std::uint64_t>(assoc) *
                               lineBytes) != 0,
                  name, ": size not divisible by assoc * line");
-        const std::uint32_t sets = numSets();
-        fatal_if(sets == 0 || (sets & (sets - 1)) != 0,
+        derive();
+        fatal_if(sets_ == 0 || (sets_ & (sets_ - 1)) != 0,
                  name, ": set count must be a power of two");
     }
 
@@ -57,12 +70,49 @@ struct CacheGeometry
     std::uint32_t
     setIndex(Addr a) const
     {
-        return static_cast<std::uint32_t>(
-            (a / lineBytes) & (numSets() - 1));
+        ensureDerived();
+        return static_cast<std::uint32_t>(a >> lineShift_) & setMask_;
     }
 
     /** Tag of an address (line address above the set bits). */
-    Addr tag(Addr a) const { return (a / lineBytes) / numSets(); }
+    Addr
+    tag(Addr a) const
+    {
+        ensureDerived();
+        return a >> tagShift_;
+    }
+
+    /**
+     * @name Derived constants (cached; see check())
+     * Public only because CacheGeometry must remain an aggregate for
+     * positional brace-initialization; do not set these directly.
+     */
+    /** @{ */
+    mutable std::uint32_t sets_ = 0;       //!< 0 = not yet derived.
+    mutable std::uint32_t setMask_ = 0;
+    mutable std::uint32_t lineShift_ = 0;
+    mutable std::uint32_t tagShift_ = 0;
+    /** @} */
+
+  private:
+    void
+    ensureDerived() const
+    {
+        if (sets_ == 0) [[unlikely]]
+            derive();
+    }
+
+    void
+    derive() const
+    {
+        sets_ = static_cast<std::uint32_t>(
+            sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes));
+        setMask_ = sets_ - 1;
+        lineShift_ = static_cast<std::uint32_t>(
+            std::countr_zero(static_cast<std::uint64_t>(lineBytes)));
+        tagShift_ = lineShift_ + static_cast<std::uint32_t>(
+            std::countr_zero(static_cast<std::uint64_t>(sets_)));
+    }
 };
 
 } // namespace trrip

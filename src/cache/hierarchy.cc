@@ -40,6 +40,13 @@ CacheHierarchy::CacheHierarchy(
     l2Stride_(256, params.l2StrideDegree),
     instNextLine_(params.instNextLineDegree, params.l2.lineBytes)
 {
+    // The hierarchy decomposes addresses through its own params_
+    // copies (lineAddr on the prefetch paths), so derive their
+    // shift/mask constants up front.
+    params_.l1i.check();
+    params_.l1d.check();
+    params_.l2.check();
+    params_.slc.check();
 }
 
 AccessOutcome
@@ -56,11 +63,8 @@ AccessOutcome
 CacheHierarchy::dataAccess(const MemRequest &req, Cycles now)
 {
     panic_if(req.isInst(), "dataAccess called with instruction request");
-    if (l1d_.access(req)) {
-        if (req.isWrite())
-            l1d_.markDirty(req.paddr);
+    if (l1d_.access(req, /*mark_dirty_on_write_hit=*/true))
         return AccessOutcome{};
-    }
     // Train the L1D stride prefetcher on demand misses.
     if (params_.enablePrefetch && !req.isPrefetch()) {
         pfScratch_.clear();
@@ -72,10 +76,9 @@ CacheHierarchy::dataAccess(const MemRequest &req, Cycles now)
             issuePrefetch(pf, now);
         }
     }
-    AccessOutcome out = beyondL1(req, now, false);
-    if (req.isWrite())
-        l1d_.markDirty(req.paddr);
-    return out;
+    // No markDirty needed after the miss path: fillL1 installed the
+    // line with dirty = req.isWrite() already.
+    return beyondL1(req, now, false);
 }
 
 AccessOutcome
@@ -103,16 +106,15 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
     out.l2DemandMiss = !req.isPrefetch();
 
     // A late prefetch merges the demand into the outstanding fill.
-    auto it = inflight_.find(line);
-    if (it != inflight_.end()) {
+    if (const std::size_t slot = inflight_.findSlot(line);
+        slot != FlatMap<Inflight>::npos) {
+        const Cycles ready = inflight_.slotValue(slot).ready;
         out.servedBy = ServedBy::Inflight;
         // Fill-and-forward: the demand waits out the remaining fill
         // time; the data is bypassed to the requester on arrival.
-        out.latency = it->second.ready > now
-                          ? it->second.ready - now
-                          : params_.l2DataLat;
+        out.latency = ready > now ? ready - now : params_.l2DataLat;
         ++pfStats_.late;
-        inflight_.erase(it);
+        inflight_.eraseSlot(slot);
         // Data arrives via the prefetch; consume any SLC copy and
         // install without charging DRAM again.
         slc_.invalidate(line);
@@ -137,12 +139,13 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
         }
     }
 
-    if (slc_.access(req)) {
+    const bool slc_hit = params_.slcExclusive
+                             ? slc_.accessInvalidate(req)
+                             : slc_.access(req);
+    if (slc_hit) {
         out.servedBy = ServedBy::Slc;
         out.latency = params_.l2TagLat + params_.slcTagLat +
                       params_.slcDataLat;
-        if (params_.slcExclusive)
-            slc_.invalidate(line);
         fillL2(req, now);
         fillL1(l1, req);
         return out;
@@ -167,9 +170,13 @@ void
 CacheHierarchy::issuePrefetch(const MemRequest &req, Cycles now)
 {
     const Addr line = params_.l2.lineAddr(req.paddr);
-    if (l2_.contains(line) || inflight_.count(line))
+    if (l2_.contains(line))
         return;
-    pruneInflight(now);
+    // Single probe: reserve the tracker slot, then fill in the ready
+    // time (tombstone erasure keeps the slot stable across the prune).
+    auto [entry, inserted] = inflight_.tryEmplace(line);
+    if (!inserted)
+        return;
 
     Cycles latency = params_.l2TagLat + params_.slcTagLat;
     if (slc_.contains(line)) {
@@ -177,18 +184,21 @@ CacheHierarchy::issuePrefetch(const MemRequest &req, Cycles now)
     } else {
         latency += dram_.read(now);
     }
-    inflight_.emplace(line, Inflight{now + latency});
+    entry->ready = now + latency;
     ++pfStats_.issued;
+    pruneInflight(now);
 }
 
 void
 CacheHierarchy::materializePrefetch(Addr line, Cycles now,
                                     const MemRequest &demand)
 {
-    auto it = inflight_.find(line);
-    if (it == inflight_.end() || it->second.ready > now)
+    const std::size_t slot = inflight_.findSlot(line);
+    if (slot == FlatMap<Inflight>::npos ||
+        inflight_.slotValue(slot).ready > now) {
         return;
-    inflight_.erase(it);
+    }
+    inflight_.eraseSlot(slot);
     ++pfStats_.covered;
     // The prefetched data displaces any SLC copy (exclusive move).
     slc_.invalidate(line);
@@ -202,14 +212,16 @@ CacheHierarchy::materializePrefetch(Addr line, Cycles now,
 void
 CacheHierarchy::pruneInflight(Cycles now)
 {
-    if (inflight_.size() < 65536)
+    // Called after the insert, so "more than threshold entries" is
+    // the post-insert size exceeding the threshold.  The entry that
+    // triggered the call is never expired: its ready time is in the
+    // future.
+    if (inflight_.size() <= params_.inflightPruneThreshold)
         return;
-    for (auto it = inflight_.begin(); it != inflight_.end();) {
-        if (it->second.ready + 100000 < now)
-            it = inflight_.erase(it);
-        else
-            ++it;
-    }
+    const Cycles grace = params_.inflightPruneGraceCycles;
+    inflight_.eraseIf([now, grace](Addr, const Inflight &entry) {
+        return entry.ready + grace < now;
+    });
 }
 
 void
@@ -235,10 +247,12 @@ CacheHierarchy::fillL2(const MemRequest &req, Cycles now)
 void
 CacheHierarchy::victimToSlc(const CacheLine &line, Cycles now)
 {
-    if (!params_.slcExclusive && slc_.contains(line.addr)) {
-        if (line.dirty)
-            slc_.markDirty(line.addr);
-        return;
+    if (!params_.slcExclusive) {
+        if (CacheLine *present = slc_.find(line.addr)) {
+            if (line.dirty)
+                present->dirty = true;
+            return;
+        }
     }
     MemRequest req = requestFor(line);
     if (line.dirty)
@@ -254,22 +268,16 @@ CacheHierarchy::fillL1(Cache &l1, const MemRequest &req)
     auto evicted = l1.fill(req);
     if (evicted && evicted->dirty) {
         // Inclusive L2 still holds the line; just mark it dirty.
-        if (l2_.contains(evicted->addr))
-            l2_.markDirty(evicted->addr);
+        if (CacheLine *line = l2_.find(evicted->addr))
+            line->dirty = true;
     }
 }
 
 void
 CacheHierarchy::markL2Priority(Addr paddr)
 {
-    const std::uint32_t set = params_.l2.setIndex(paddr);
-    const Addr tag = params_.l2.tag(paddr);
-    for (CacheLine &line : l2_.setView(set)) {
-        if (line.valid && line.tag == tag) {
-            line.priority = true;
-            return;
-        }
-    }
+    if (CacheLine *line = l2_.find(paddr))
+        line->priority = true;
 }
 
 double
@@ -297,9 +305,8 @@ CacheHierarchy::checkInclusion() const
         return true;
     // Every valid L1 line must be present in the L2.
     const auto check = [this](const Cache &l1) {
-        auto &mut = const_cast<Cache &>(l1);
         for (std::uint32_t s = 0; s < l1.geometry().numSets(); ++s) {
-            for (const CacheLine &line : mut.setView(s)) {
+            for (const CacheLine &line : l1.setView(s)) {
                 if (line.valid && !l2_.contains(line.addr))
                     return false;
             }

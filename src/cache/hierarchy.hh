@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -20,6 +19,7 @@
 #include "core/policy_registry.hh"
 #include "mem/dram.hh"
 #include "mem/request.hh"
+#include "util/flat_map.hh"
 
 namespace trrip {
 
@@ -77,6 +77,14 @@ struct HierarchyParams
     unsigned l1dStrideDegree = 4;
     unsigned l2StrideDegree = 4;
     unsigned instNextLineDegree = 1;
+
+    /**
+     * In-flight (MSHR-like) tracker hygiene: once the tracker holds
+     * this many entries, prefetches that were never demanded and
+     * whose fill completed more than the grace period ago are swept.
+     */
+    std::size_t inflightPruneThreshold = 65536;
+    Cycles inflightPruneGraceCycles = 100000;
 };
 
 /** Aggregate prefetch statistics. */
@@ -193,7 +201,7 @@ class CacheHierarchy
     StridePrefetcher l1dStride_;
     StridePrefetcher l2Stride_;
     NextLinePrefetcher instNextLine_;
-    std::unordered_map<Addr, Inflight> inflight_;
+    FlatMap<Inflight> inflight_;
     PrefetchStats pfStats_;
     std::vector<Addr> pfScratch_;
     L2AccessObserver *l2Observer_ = nullptr;

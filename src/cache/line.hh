@@ -24,26 +24,31 @@
 
 namespace trrip {
 
-/** Metadata for one cache line (way) in a set. */
+/**
+ * Metadata for one cache line (way) in a set.
+ *
+ * Packed to 32 bytes (two lines per host cache line): the simulated
+ * caches' metadata arrays are the hottest data structures in the whole
+ * simulator, and the set scans in victim() walk them linearly.  The
+ * flag bools share one byte as bitfields; field names and usage are
+ * unchanged.
+ */
 struct CacheLine
 {
-    bool valid = false;
-    bool dirty = false;
     Addr tag = 0;
     Addr addr = 0;              //!< Full line-aligned address.
-    bool isInst = false;        //!< Filled by an instruction request.
+    std::uint64_t lruStamp = 0;     //!< LRU recency stamp.
+    std::uint16_t signature = 0;    //!< SHiP PC signature.
+    std::uint8_t rrpv = 0;          //!< RRIP re-reference prediction.
 
     /** Instrumentation-only copy of the fill-time page temperature. */
     Temperature temp = Temperature::None;
 
-    /** @name Replacement policy state */
-    /** @{ */
-    std::uint8_t rrpv = 0;          //!< RRIP re-reference prediction.
-    std::uint64_t lruStamp = 0;     //!< LRU recency stamp.
-    std::uint16_t signature = 0;    //!< SHiP PC signature.
-    bool outcome = false;           //!< SHiP reuse ("was re-referenced").
-    bool priority = false;          //!< Emissary costly-line bit.
-    /** @} */
+    bool valid : 1 = false;
+    bool dirty : 1 = false;
+    bool isInst : 1 = false;    //!< Filled by an instruction request.
+    bool outcome : 1 = false;   //!< SHiP reuse ("was re-referenced").
+    bool priority : 1 = false;  //!< Emissary costly-line bit.
 
     /** Reset to the invalid state. */
     void

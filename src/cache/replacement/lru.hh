@@ -47,6 +47,14 @@ class LruPolicy : public ReplacementPolicy
         lines[way].lruStamp = ++tick_;
     }
 
+    /**
+     * Devirtualized hot path: Cache detects an LruPolicy once at
+     * construction and stamps hits inline instead of going through
+     * the virtual onHit (LRU runs in the L1s and SLC, which see the
+     * bulk of all accesses).  Must stay equivalent to onHit/onFill.
+     */
+    std::uint64_t nextTick() { return ++tick_; }
+
   private:
     std::uint64_t tick_ = 0;
 };

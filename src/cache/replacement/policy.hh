@@ -26,6 +26,9 @@ namespace trrip {
 /** View of one cache set's ways handed to the policy. */
 using SetView = std::span<CacheLine>;
 
+/** Read-only set view (analysis and invariant checks). */
+using ConstSetView = std::span<const CacheLine>;
+
 /** Abstract cache replacement policy. */
 class ReplacementPolicy
 {

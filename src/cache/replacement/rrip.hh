@@ -44,20 +44,31 @@ class RripBase : public ReplacementPolicy
      * The RRIP eviction search shared by every derived policy and left
      * untouched by TRRIP (Algorithm 1 line 14): scan for RRPV == max,
      * ageing every line until one is found; ties break toward way 0.
+     *
+     * Implemented as the closed form of that loop: the victim is the
+     * first way with the maximal RRPV, and every line ages by the
+     * number of rounds the scan would have taken (max - rrpv[victim]).
+     * One read pass plus at most one write pass instead of re-scanning
+     * the set once per ageing round; the resulting state is identical.
      */
     std::uint32_t
     victim(std::uint32_t, SetView lines, const MemRequest &) override
     {
-        while (true) {
-            for (std::uint32_t w = 0; w < lines.size(); ++w) {
-                if (lines[w].rrpv >= maxRrpv_)
-                    return w;
-            }
-            for (auto &line : lines) {
-                if (line.rrpv < maxRrpv_)
-                    ++line.rrpv;
-            }
+        std::uint32_t best = 0;
+        for (std::uint32_t w = 1; w < lines.size(); ++w) {
+            if (lines[w].rrpv > lines[best].rrpv)
+                best = w;
         }
+        const std::uint8_t age =
+            lines[best].rrpv >= maxRrpv_
+                ? 0
+                : static_cast<std::uint8_t>(maxRrpv_ -
+                                            lines[best].rrpv);
+        if (age > 0) {
+            for (auto &line : lines)
+                line.rrpv = static_cast<std::uint8_t>(line.rrpv + age);
+        }
+        return best;
     }
 
   protected:

@@ -9,42 +9,42 @@ CoreModel::CoreModel(Executor &executor, CacheHierarchy &hierarchy,
                      const CoreParams &params,
                      const BackendParams &backend) :
     executor_(executor), hier_(hierarchy), mmu_(mmu), branch_(branch),
-    params_(params), backend_(backend)
+    params_(params), backend_(backend),
+    window_(params.fdipLookahead + 1),
+    lineMask_(~static_cast<Addr>(hierarchy.params().l2.lineBytes - 1)),
+    lineBytes_(hierarchy.params().l2.lineBytes)
 {
 }
 
 void
 CoreModel::refillWindow()
 {
-    const std::size_t want = params_.fdipLookahead + 1;
-    while (window_.size() < want) {
-        window_.emplace_back();
-        BBEvent &ev = window_.back();
+    while (winCount_ < window_.size()) {
+        BBEvent &ev = window_[winIndex(winCount_)];
         executor_.next(ev);
         // Query-only misprediction estimate for the FDIP path check.
         ev.fdipMispredict =
             ev.hasBranch && branch_.wouldMispredict(ev.branch);
         if (ev.fdipMispredict)
             ++windowMispredicts_;
+        ++winCount_;
     }
 }
 
 void
 CoreModel::fdipPrefetch()
 {
-    if (!params_.fdipEnabled || window_.size() < 2)
+    if (!params_.fdipEnabled || winCount_ < 2)
         return;
     // FDIP runs ahead only while the predicted path is clean: any
     // likely-mispredicted branch in the window stops the run-ahead
     // (the paper's trace-based setup has no wrong-path prefetching).
     if (windowMispredicts_ > 0)
         return;
-    const BBEvent &tail = window_.back();
-    const std::uint32_t line_bytes = hier_.params().l2.lineBytes;
-    const Addr first = tail.vaddr & ~static_cast<Addr>(line_bytes - 1);
-    const Addr last = (tail.vaddr + tail.bytes - 1) &
-                      ~static_cast<Addr>(line_bytes - 1);
-    for (Addr line = first; line <= last; line += line_bytes) {
+    const BBEvent &tail = window_[winIndex(winCount_ - 1)];
+    const Addr first = tail.vaddr & lineMask_;
+    const Addr last = (tail.vaddr + tail.bytes - 1) & lineMask_;
+    for (Addr line = first; line <= last; line += lineBytes_) {
         const MmuResult tr = mmu_.translate(line);
         MemRequest req;
         req.vaddr = line;
@@ -60,12 +60,10 @@ void
 CoreModel::processEvent(const BBEvent &ev)
 {
     // --- Instruction fetch, one access per newly touched line.
-    const std::uint32_t line_bytes = hier_.params().l2.lineBytes;
-    const Addr first = ev.vaddr & ~static_cast<Addr>(line_bytes - 1);
-    const Addr last = (ev.vaddr + ev.bytes - 1) &
-                      ~static_cast<Addr>(line_bytes - 1);
+    const Addr first = ev.vaddr & lineMask_;
+    const Addr last = (ev.vaddr + ev.bytes - 1) & lineMask_;
     Temperature fetch_temp = Temperature::None;
-    for (Addr line = first; line <= last; line += line_bytes) {
+    for (Addr line = first; line <= last; line += lineBytes_) {
         if (line == lastFetchLine_)
             continue;
         lastFetchLine_ = line;
@@ -186,11 +184,12 @@ CoreModel::run(InstCount max_instructions)
     refillWindow();
     while (instructions_ < max_instructions) {
         fdipPrefetch();
-        const BBEvent &ev = window_.front();
+        const BBEvent &ev = window_[winHead_];
         if (ev.fdipMispredict)
             --windowMispredicts_;
         processEvent(ev);
-        window_.pop_front();
+        winHead_ = winIndex(1);
+        --winCount_;
         refillWindow();
     }
 

@@ -20,8 +20,7 @@
 #ifndef TRRIP_SIM_CORE_MODEL_HH
 #define TRRIP_SIM_CORE_MODEL_HH
 
-#include <deque>
-#include <unordered_set>
+#include <vector>
 
 #include "analysis/costly_miss.hh"
 #include "branch/predictors.hh"
@@ -118,8 +117,29 @@ class CoreModel
     CoreParams params_;
     BackendParams backend_;
 
-    std::deque<BBEvent> window_;
+    /**
+     * FDIP lookahead window as a fixed-capacity ring buffer.  BBEvent
+     * is several hundred bytes, so a std::deque would allocate on
+     * every push; the ring reuses fdipLookahead + 1 slots for the
+     * whole run (Executor::next overwrites every live field).
+     */
+    std::vector<BBEvent> window_;
+    std::size_t winHead_ = 0;
+    std::size_t winCount_ = 0;
     unsigned windowMispredicts_ = 0;
+
+    std::size_t
+    winIndex(std::size_t offset) const
+    {
+        std::size_t i = winHead_ + offset;
+        if (i >= window_.size())
+            i -= window_.size();
+        return i;
+    }
+
+    /** Cached L2 line mask/size (constants for the whole run). */
+    Addr lineMask_ = ~static_cast<Addr>(63);
+    std::uint32_t lineBytes_ = 64;
 
     double now_ = 0.0;
     InstCount instructions_ = 0;

@@ -38,7 +38,7 @@ class Mmu
 {
   public:
     explicit Mmu(PageTable &pt, std::size_t tlb_entries = 128) :
-        pt_(pt), tlb_(tlb_entries)
+        pt_(pt), tlb_(tlb_entries), tlbMask_(tlb_entries - 1)
     {
         panic_if(tlb_entries == 0 ||
                      (tlb_entries & (tlb_entries - 1)) != 0,
@@ -50,18 +50,20 @@ class Mmu
     translate(Addr vaddr)
     {
         ++stats_.accesses;
-        const Addr vpn = vaddr / pt_.pageSize();
-        Entry &e = tlb_[vpn & (tlb_.size() - 1)];
+        // Page sizes are powers of two; all div/mod is shift/mask.
+        const std::uint32_t shift = pt_.pageShift();
+        const Addr vpn = vaddr >> shift;
+        Entry &e = tlb_[vpn & tlbMask_];
         if (e.valid && e.vpn == vpn) {
             return MmuResult{
-                e.ppn * pt_.pageSize() + vaddr % pt_.pageSize(),
+                (e.ppn << shift) | (vaddr & pt_.pageOffsetMask()),
                 e.temp, false};
         }
         ++stats_.misses;
         const PageTranslation tr = pt_.translate(vaddr);
         e.valid = true;
         e.vpn = vpn;
-        e.ppn = tr.paddr / pt_.pageSize();
+        e.ppn = tr.paddr >> shift;
         e.temp = tr.temp;
         return MmuResult{tr.paddr, tr.temp, true};
     }
@@ -80,6 +82,7 @@ class Mmu
 
     PageTable &pt_;
     std::vector<Entry> tlb_;
+    Addr tlbMask_;
     TlbStats stats_;
 };
 

@@ -7,14 +7,20 @@
  * the MMU forwards them with instruction memory requests.  Translation
  * itself is identity (vaddr == paddr) -- the interesting state is the
  * attribute plumbing.
+ *
+ * The table is an open-addressed FlatMap keyed by virtual page number
+ * and all page-size arithmetic is shift/mask (page sizes are enforced
+ * powers of two), keeping translate() off the division and
+ * std::unordered_map costs it used to pay per TLB miss.
  */
 
 #ifndef TRRIP_SW_PAGE_TABLE_HH
 #define TRRIP_SW_PAGE_TABLE_HH
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
 
+#include "util/flat_map.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
 
@@ -49,17 +55,24 @@ class PageTable
     {
         fatal_if(page_size == 0 || (page_size & (page_size - 1)) != 0,
                  "page size must be a power of two");
+        pageShift_ = static_cast<std::uint32_t>(
+            std::countr_zero(page_size));
     }
 
     std::uint32_t pageSize() const { return pageSize_; }
+
+    /** log2(pageSize): vaddr >> pageShift() is the page number. */
+    std::uint32_t pageShift() const { return pageShift_; }
+
+    /** pageSize - 1: vaddr & pageOffsetMask() is the page offset. */
+    Addr pageOffsetMask() const { return pageSize_ - 1; }
 
     /** Map the page holding @p vaddr with temperature @p temp. */
     void
     map(Addr vaddr, Temperature temp)
     {
-        const Addr vpn = vaddr / pageSize_;
-        Pte &pte = table_[vpn];
-        pte.ppn = vpn; // Identity mapping.
+        Pte &pte = table_[vaddr >> pageShift_];
+        pte.ppn = vaddr >> pageShift_; // Identity mapping.
         pte.attrs = encodeTemperature(temp);
     }
 
@@ -67,23 +80,22 @@ class PageTable
     PageTranslation
     translate(Addr vaddr)
     {
-        const Addr vpn = vaddr / pageSize_;
-        auto [it, inserted] = table_.try_emplace(vpn);
+        const Addr vpn = vaddr >> pageShift_;
+        auto [pte, inserted] = table_.tryEmplace(vpn);
         if (inserted) {
-            it->second.ppn = vpn;
+            pte->ppn = vpn;
             ++lazyMapped_;
         }
         return PageTranslation{
-            it->second.ppn * pageSize_ + vaddr % pageSize_,
-            it->second.temp()};
+            (pte->ppn << pageShift_) | (vaddr & pageOffsetMask()),
+            pte->temp()};
     }
 
     /** PTE lookup without allocation; nullptr if unmapped. */
     const Pte *
     lookup(Addr vaddr) const
     {
-        const auto it = table_.find(vaddr / pageSize_);
-        return it == table_.end() ? nullptr : &it->second;
+        return table_.find(vaddr >> pageShift_);
     }
 
     std::size_t mappedPages() const { return table_.size(); }
@@ -91,7 +103,10 @@ class PageTable
 
   private:
     std::uint32_t pageSize_;
-    std::unordered_map<Addr, Pte> table_;
+    std::uint32_t pageShift_ = 12;
+    /** Sized for a typical loaded image (a few MiB of text + data)
+     *  up front, so steady-state translation never rehashes. */
+    FlatMap<Pte> table_{4096};
     std::uint64_t lazyMapped_ = 0;
 };
 

@@ -150,10 +150,12 @@ class Program
 
     const std::vector<Function> &functions() const { return funcs_; }
     const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    /** Executor-hot accessors: unchecked indexing (ids come from the
+     *  program's own body/rareAfter tables). */
     const Function &function(std::uint32_t id) const
-    { return funcs_.at(id); }
+    { return funcs_[id]; }
     const BasicBlock &block(std::uint32_t id) const
-    { return blocks_.at(id); }
+    { return blocks_[id]; }
 
     std::size_t numFunctions() const { return funcs_.size(); }
     std::size_t numBlocks() const { return blocks_.size(); }

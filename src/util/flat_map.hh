@@ -1,0 +1,239 @@
+/**
+ * @file
+ * A small open-addressed hash map keyed by 64-bit integers, built for
+ * the simulator's per-access hot paths (the hierarchy's in-flight
+ * prefetch tracker, the page table).
+ *
+ * Compared to std::unordered_map this trades generality for speed:
+ * keys are always std::uint64_t (line or page numbers), each entry is
+ * one contiguous slot (key, value and state interleaved, so a probe
+ * step touches one cache line; no per-node allocation, no pointer
+ * chasing), probing is linear over a power-of-two table, and erasure
+ * uses tombstones so slot handles stay valid across erases.  The
+ * slot-handle API (findSlot / slotValue / eraseSlot) lets callers
+ * probe once and then read + erase without re-hashing -- the
+ * contains()-then-access() double lookups the hierarchy used to do.
+ *
+ * Iteration order is unspecified but deterministic for a fixed
+ * insert/erase history, which is all the deterministic-output
+ * machinery of src/exp/ needs.
+ */
+
+#ifndef TRRIP_UTIL_FLAT_MAP_HH
+#define TRRIP_UTIL_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace trrip {
+
+/** Open-addressed uint64 -> Value map with tombstone deletion. */
+template <typename Value>
+class FlatMap
+{
+  public:
+    using Key = std::uint64_t;
+
+    /** Sentinel slot handle: "not found". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 8;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Slot handle for @p key, or npos.  Valid until the next insert. */
+    std::size_t
+    findSlot(Key key) const
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (true) {
+            const Slot &slot = slots_[i];
+            if (slot.state == kEmpty)
+                return npos;
+            if (slot.state == kFull && slot.key == key)
+                return i;
+            i = (i + 1) & mask;
+        }
+    }
+
+    Value *
+    find(Key key)
+    {
+        const std::size_t slot = findSlot(key);
+        return slot == npos ? nullptr : &slots_[slot].value;
+    }
+
+    const Value *
+    find(Key key) const
+    {
+        const std::size_t slot = findSlot(key);
+        return slot == npos ? nullptr : &slots_[slot].value;
+    }
+
+    bool contains(Key key) const { return findSlot(key) != npos; }
+
+    Key slotKey(std::size_t slot) const { return slots_[slot].key; }
+    Value &slotValue(std::size_t slot) { return slots_[slot].value; }
+    const Value &slotValue(std::size_t slot) const
+    { return slots_[slot].value; }
+
+    /**
+     * Insert @p key with a default-constructed value unless present.
+     * One probe: returns the value slot and whether it was inserted.
+     * The pointer is valid until the next insert (which may rehash).
+     */
+    std::pair<Value *, bool>
+    tryEmplace(Key key)
+    {
+        if ((size_ + tombstones_ + 1) * 8 >= slots_.size() * 7)
+            rehash(size_ * 2 >= slots_.size() ? slots_.size() * 2
+                                              : slots_.size());
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        std::size_t insert_at = npos;
+        while (true) {
+            const Slot &slot = slots_[i];
+            if (slot.state == kEmpty) {
+                if (insert_at == npos)
+                    insert_at = i;
+                break;
+            }
+            if (slot.state == kTombstone) {
+                if (insert_at == npos)
+                    insert_at = i;
+            } else if (slot.key == key) {
+                return {&slots_[i].value, false};
+            }
+            i = (i + 1) & mask;
+        }
+        Slot &dest = slots_[insert_at];
+        if (dest.state == kTombstone)
+            --tombstones_;
+        dest.state = kFull;
+        dest.key = key;
+        dest.value = Value();
+        ++size_;
+        return {&dest.value, true};
+    }
+
+    /** Insert-or-assign convenience (operator[] semantics). */
+    Value &operator[](Key key) { return *tryEmplace(key).first; }
+
+    /** Erase by slot handle from findSlot/tryEmplace (no re-probe). */
+    void
+    eraseSlot(std::size_t slot)
+    {
+        slots_[slot].state = kTombstone;
+        slots_[slot].value = Value();
+        --size_;
+        ++tombstones_;
+    }
+
+    bool
+    erase(Key key)
+    {
+        const std::size_t slot = findSlot(key);
+        if (slot == npos)
+            return false;
+        eraseSlot(slot);
+        return true;
+    }
+
+    /** Erase every entry for which @p pred(key, value) returns true. */
+    template <typename Pred>
+    void
+    eraseIf(Pred pred)
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].state == kFull &&
+                pred(slots_[i].key, slots_[i].value)) {
+                eraseSlot(i);
+            }
+        }
+    }
+
+    /** Visit every (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.state == kFull)
+                fn(slot.key, slot.value);
+        }
+    }
+
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot = Slot();
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Table capacity (test hook for growth behavior). */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::uint8_t kTombstone = 2;
+
+    struct Slot
+    {
+        Key key = 0;
+        Value value{};
+        std::uint8_t state = kEmpty;
+    };
+
+    /** SplitMix64 finalizer: strong enough to break up line/page
+     *  numbers, cheap enough for the per-access path. */
+    static std::size_t
+    hash(Key k)
+    {
+        k ^= k >> 30;
+        k *= 0xbf58476d1ce4e5b9ull;
+        k ^= k >> 27;
+        k *= 0x94d049bb133111ebull;
+        k ^= k >> 31;
+        return static_cast<std::size_t>(k);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_cap, Slot());
+        tombstones_ = 0;
+        const std::size_t mask = new_cap - 1;
+        for (Slot &slot : old) {
+            if (slot.state != kFull)
+                continue;
+            std::size_t j = hash(slot.key) & mask;
+            while (slots_[j].state == kFull)
+                j = (j + 1) & mask;
+            slots_[j].state = kFull;
+            slots_[j].key = slot.key;
+            slots_[j].value = std::move(slot.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_UTIL_FLAT_MAP_HH

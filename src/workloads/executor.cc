@@ -41,7 +41,66 @@ Executor::Executor(const SyntheticWorkload &workload,
 {
     panic_if(elf_.blockAddr.size() != wl_.program.numBlocks(),
              "layout does not match program");
-    stack_.push_back(Frame{wl_.dispatcher, 0, -1, {}});
+
+    // Compile the program + layout into the flat tables.
+    const Program &prog = wl_.program;
+    blocks_.resize(prog.numBlocks());
+    for (std::size_t id = 0; id < prog.numBlocks(); ++id) {
+        const BasicBlock &bb = prog.blocks()[id];
+        BlockInfo &info = blocks_[id];
+        info.addr = elf_.blockAddr[id];
+        switch (bb.role) {
+          case BBRole::LoopEnd:
+            info.roleParam = bb.loopIterMean;
+            break;
+          case BBRole::CallSite:
+            info.roleParam = bb.callProb;
+            break;
+          case BBRole::Plain:
+          default:
+            info.roleParam = bb.likelyProb;
+            break;
+        }
+        panic_if(bb.instrs > 0xffff, "block too large for BlockInfo");
+        panic_if(bb.data.size() > 0xff, "too many data sites");
+        panic_if(bb.loopBodyLen > 0xffff,
+                 "loop body too long for BlockInfo");
+        info.instrs = static_cast<std::uint16_t>(bb.instrs);
+        info.loopBodyLen =
+            static_cast<std::uint16_t>(bb.loopBodyLen);
+        info.dataBegin = static_cast<std::uint32_t>(dataSpecs_.size());
+        info.dataCount = static_cast<std::uint8_t>(bb.data.size());
+        info.role = bb.role;
+        info.callee = bb.callee;
+        dataSpecs_.insert(dataSpecs_.end(), bb.data.begin(),
+                          bb.data.end());
+    }
+    funcs_.resize(prog.numFunctions());
+    for (std::size_t id = 0; id < prog.numFunctions(); ++id) {
+        const Function &fn = prog.functions()[id];
+        FuncInfo &info = funcs_[id];
+        info.bodyBegin = static_cast<std::uint32_t>(body_.size());
+        info.bodyLen = static_cast<std::uint32_t>(fn.body.size());
+        info.isDispatcher = fn.kind == FuncKind::Dispatcher;
+        body_.insert(body_.end(), fn.body.begin(), fn.body.end());
+        rareAfter_.insert(rareAfter_.end(), fn.rareAfter.begin(),
+                          fn.rareAfter.end());
+    }
+    bodyAddrs_.reserve(body_.size());
+    for (const std::uint32_t id : body_)
+        bodyAddrs_.push_back(blocks_[id].addr);
+    regions_.resize(wl_.params.regions.size());
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+        const DataRegionSpec &spec = wl_.params.regions[r];
+        regions_[r].sizeBytes = spec.sizeBytes;
+        regions_[r].localityBytes = std::min<std::uint64_t>(
+            spec.localityBytes, spec.sizeBytes);
+        regions_[r].localityFraction = spec.localityFraction;
+        regions_[r].dependentFraction = spec.dependentFraction;
+        regions_[r].base = wl_.regionBase[r];
+    }
+
+    pushFrame(wl_.dispatcher);
 }
 
 std::uint32_t
@@ -61,37 +120,44 @@ Executor::pickCallee(CalleeClass cls)
 }
 
 void
-Executor::emitData(const BasicBlock &bb, BBEvent &ev)
+Executor::emitData(const BlockInfo &bb, BBEvent &ev)
 {
-    for (const DataAccessSpec &spec : bb.data) {
+    const DataAccessSpec *specs = &dataSpecs_[bb.dataBegin];
+    for (std::uint16_t s = 0; s < bb.dataCount; ++s) {
+        const DataAccessSpec &spec = specs[s];
         // Mean accesses per execution, fractional part stochastic.
         std::uint32_t n = static_cast<std::uint32_t>(spec.count);
         if (rng_.chance(spec.count - static_cast<double>(n)))
             ++n;
         for (std::uint32_t i = 0;
              i < n && ev.numData < ev.data.size(); ++i) {
-            const DataRegionSpec &region =
-                wl_.params.regions[spec.region];
+            const RegionInfo &region = regions_[spec.region];
             std::uint64_t &cursor = regionCursor_[spec.region];
             std::uint64_t offset = 0;
             switch (spec.pattern) {
               case DataPattern::Sequential:
               case DataPattern::Strided:
-                cursor = (cursor + spec.stride) % region.sizeBytes;
+                // cursor < size, so one conditional subtract replaces
+                // the modulo unless the stride itself exceeds size.
+                cursor += spec.stride;
+                if (cursor >= region.sizeBytes) {
+                    cursor = cursor < 2 * region.sizeBytes
+                                 ? cursor - region.sizeBytes
+                                 : cursor % region.sizeBytes;
+                }
                 offset = cursor;
                 break;
               case DataPattern::Random:
                 if (rng_.chance(region.localityFraction)) {
                     // Hot working-set window at the region start.
-                    offset = rng_.below(std::min<std::uint64_t>(
-                        region.localityBytes, region.sizeBytes));
+                    offset = rng_.below(region.localityBytes);
                 } else {
                     offset = rng_.below(region.sizeBytes);
                 }
                 break;
             }
             DataAccessEvent &d = ev.data[ev.numData++];
-            d.vaddr = wl_.regionBase[spec.region] + offset;
+            d.vaddr = region.base + offset;
             d.pc = ev.vaddr + 8;
             d.isStore = rng_.chance(spec.storeFraction);
             d.dependent = !d.isStore &&
@@ -125,50 +191,48 @@ Executor::setBranch(BBEvent &ev, Addr target, bool conditional,
 void
 Executor::next(BBEvent &ev)
 {
-    Frame &fr = stack_.back();
-    const Function &fn = wl_.program.function(fr.func);
+    Frame &fr = stack_[depth_ - 1];
+    const FuncInfo &fn = funcs_[fr.func];
 
     const bool is_rare = fr.pendingRare >= 0;
     const std::uint32_t bb_id =
         is_rare ? static_cast<std::uint32_t>(fr.pendingRare)
-                : fn.body[fr.pos];
-    const BasicBlock &bb = wl_.program.block(bb_id);
+                : body_[fn.bodyBegin + fr.pos];
+    const BlockInfo &bb = blocks_[bb_id];
 
     ev.bb = bb_id;
-    ev.vaddr = elf_.blockAddr[bb_id];
+    ev.vaddr = bb.addr;
     ev.instrs = bb.instrs;
-    ev.bytes = bb.bytes();
+    ev.bytes = static_cast<std::uint32_t>(bb.instrs) * 4;
     ev.numData = 0;
     ev.hasBranch = false;
     ev.fdipMispredict = false;
-    emitData(bb, ev);
+    if (bb.dataCount > 0)
+        emitData(bb, ev);
 
     if (is_rare) {
         // Rare block rejoins the body at the next position.
         fr.pendingRare = -1;
         ++fr.pos;
-        setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], false, false,
-                  false, false);
+        setBranch(ev, bodyAddr(fn, fr.pos), false, false, false,
+                  false);
         return;
     }
 
-    const bool last = fr.pos + 1 == fn.body.size();
-    const bool is_dispatcher = fn.kind == FuncKind::Dispatcher;
+    const bool last = fr.pos + 1 == fn.bodyLen;
 
     if (last) {
-        if (is_dispatcher) {
+        if (fn.isDispatcher) {
             // Dispatcher loops forever.
             fr.pos = 0;
-            setBranch(ev, elf_.blockAddr[fn.body[0]], false, false,
-                      false, false);
+            setBranch(ev, bodyAddr(fn, 0), false, false, false, false);
             return;
         }
         // Return to the caller's resume block.
-        panic_if(stack_.size() < 2, "return from the bottom frame");
-        stack_.pop_back();
-        Frame &caller = stack_.back();
-        const Function &cfn = wl_.program.function(caller.func);
-        const Addr resume = elf_.blockAddr[cfn.body[caller.pos]];
+        panic_if(depth_ < 2, "return from the bottom frame");
+        --depth_;
+        Frame &caller = stack_[depth_ - 1];
+        const Addr resume = bodyAddr(funcs_[caller.func], caller.pos);
         setBranch(ev, resume, false, false, true, false);
         return;
     }
@@ -188,7 +252,7 @@ Executor::next(BBEvent &ev)
         if (!loop) {
             const double jitter = 0.5 + rng_.uniform();
             const auto iters = std::max<std::uint64_t>(
-                1, static_cast<std::uint64_t>(bb.loopIterMean * jitter));
+                1, static_cast<std::uint64_t>(bb.roleParam * jitter));
             fr.loops.push_back(ActiveLoop{
                 fr.pos, static_cast<std::uint32_t>(iters - 1)});
             loop = &fr.loops.back();
@@ -197,8 +261,8 @@ Executor::next(BBEvent &ev)
             --loop->remaining;
             const std::uint32_t back = fr.pos - bb.loopBodyLen;
             fr.pos = back;
-            setBranch(ev, elf_.blockAddr[fn.body[back]], true, false,
-                      false, false);
+            setBranch(ev, bodyAddr(fn, back), true, false, false,
+                      false);
         } else {
             // Loop exit: retire this loop's state.
             for (std::size_t i = 0; i < fr.loops.size(); ++i) {
@@ -210,50 +274,50 @@ Executor::next(BBEvent &ev)
                 }
             }
             ++fr.pos;
-            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], true, false,
-                      false, false);
+            setBranch(ev, bodyAddr(fn, fr.pos), true, false, false,
+                      false);
         }
         return;
       }
       case BBRole::CallSite: {
         const bool can_call =
-            stack_.size() < wl_.params.maxCallDepth &&
+            depth_ < wl_.params.maxCallDepth &&
             !(bb.callee == CalleeClass::Helper &&
               wl_.helpers.empty()) &&
             !(bb.callee == CalleeClass::Cold &&
               wl_.coldFuncs.empty()) &&
             !(bb.callee == CalleeClass::External &&
               wl_.externals.empty());
-        if (can_call && rng_.chance(bb.callProb)) {
+        if (can_call && rng_.chance(bb.roleParam)) {
             const std::uint32_t callee = pickCallee(bb.callee);
             ++fr.pos; // Resume point after the call.
             const bool indirect = bb.callee == CalleeClass::Handler ||
                                   bb.callee == CalleeClass::External;
             setBranch(ev, elf_.funcEntry[callee], false, true, false,
                       indirect);
-            stack_.push_back(Frame{callee, 0, -1, {}});
+            pushFrame(callee);
         } else {
             // Guard skipped the call.
             ++fr.pos;
-            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]], true, false,
-                      false, false);
+            setBranch(ev, bodyAddr(fn, fr.pos), true, false, false,
+                      false);
         }
         return;
       }
       case BBRole::Plain:
       default: {
-        const std::int32_t rare = fn.rareAfter[fr.pos];
-        const bool likely = rng_.chance(bb.likelyProb);
+        const std::int32_t rare = rareAfter_[fn.bodyBegin + fr.pos];
+        const bool likely = rng_.chance(bb.roleParam);
         if (!likely && rare >= 0) {
             // Detour through the unlikely path, then rejoin.
             fr.pendingRare = rare;
             setBranch(ev,
-                      elf_.blockAddr[static_cast<std::uint32_t>(rare)],
+                      blocks_[static_cast<std::uint32_t>(rare)].addr,
                       true, false, false, false);
         } else {
             ++fr.pos;
-            setBranch(ev, elf_.blockAddr[fn.body[fr.pos]],
-                      bb.likelyProb < 1.0 && rare >= 0, false, false,
+            setBranch(ev, bodyAddr(fn, fr.pos),
+                      bb.roleParam < 1.0 && rare >= 0, false, false,
                       false);
         }
         return;

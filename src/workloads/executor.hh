@@ -10,6 +10,16 @@
  * taken-heavy sparse fetch in the non-PGO layout and fall-through
  * dense fetch in the PGO layout, which is exactly the code-layout
  * effect the paper's section 2.3 measures.
+ *
+ * For speed the constructor compiles the Program + ElfImage into
+ * flat executor-local tables: one compact BlockInfo per block (layout
+ * address, size and terminator data in one 56-byte record instead of
+ * a BasicBlock struct plus separate blockAddr lookup), the data
+ * access sites of all blocks in one contiguous array, and all
+ * function bodies concatenated into one id/rare-successor pair of
+ * arrays.  next() then runs on dense indexed loads with no per-block
+ * pointer chasing.  The emitted stream is identical to walking the
+ * Program directly.
  */
 
 #ifndef TRRIP_WORKLOADS_EXECUTOR_HH
@@ -68,9 +78,36 @@ class Executor
     void next(BBEvent &ev);
 
     /** Dynamic call-stack depth (test hook). */
-    std::size_t stackDepth() const { return stack_.size(); }
+    std::size_t stackDepth() const { return depth_; }
 
   private:
+    /**
+     * Compact per-block record: everything next() needs in 32 bytes
+     * (two per host cache line; the blocks table is the executor's
+     * hottest random-access structure).  roleParam is the one
+     * role-specific scalar each terminator kind reads: likelyProb for
+     * Plain, loopIterMean for LoopEnd, callProb for CallSite.
+     */
+    struct BlockInfo
+    {
+        Addr addr = 0;              //!< Layout address of the block.
+        double roleParam = 1.0;
+        std::uint32_t dataBegin = 0;    //!< Into dataSpecs_.
+        std::uint16_t instrs = 0;       //!< Bytes = instrs * 4.
+        std::uint16_t loopBodyLen = 0;
+        std::uint8_t dataCount = 0;
+        BBRole role = BBRole::Plain;
+        CalleeClass callee = CalleeClass::Helper;
+    };
+
+    /** Compact per-function record over the concatenated body_. */
+    struct FuncInfo
+    {
+        std::uint32_t bodyBegin = 0;    //!< Into body_/rareAfter_.
+        std::uint32_t bodyLen = 0;
+        bool isDispatcher = false;
+    };
+
     /** One active loop: its LoopEnd position and remaining trips. */
     struct ActiveLoop
     {
@@ -87,18 +124,68 @@ class Executor
         std::vector<ActiveLoop> loops;
     };
 
-    void emitData(const BasicBlock &bb, BBEvent &ev);
+    void emitData(const BlockInfo &bb, BBEvent &ev);
     std::uint32_t pickCallee(CalleeClass cls);
     /** Fill terminator info given the resolved successor address. */
     void setBranch(BBEvent &ev, Addr target, bool conditional,
                    bool is_call, bool is_return, bool is_indirect);
+
+    /** Push a fresh frame, reusing the pooled slot (and its loops
+     *  vector's capacity) above the current depth. */
+    void
+    pushFrame(std::uint32_t func)
+    {
+        if (depth_ == stack_.size())
+            stack_.emplace_back();
+        Frame &fr = stack_[depth_++];
+        fr.func = func;
+        fr.pos = 0;
+        fr.pendingRare = -1;
+        fr.loops.clear();
+    }
+
+    /** Compact per-region record (no std::string name, locality
+     *  window pre-clamped, base address folded in). */
+    struct RegionInfo
+    {
+        std::uint64_t sizeBytes = 0;
+        std::uint64_t localityBytes = 0;    //!< min(locality, size).
+        double localityFraction = 0.0;
+        double dependentFraction = 0.0;
+        Addr base = 0;
+    };
+
+    /** Layout address of body position @p pos of @p fn. */
+    Addr
+    bodyAddr(const FuncInfo &fn, std::uint32_t pos) const
+    {
+        return bodyAddrs_[fn.bodyBegin + pos];
+    }
 
     const SyntheticWorkload &wl_;
     const ElfImage &elf_;
     Rng rng_;
     WeightedSampler handlerSampler_;
     ZipfSampler helperZipf_;
+
+    /** @name Flat execution tables (see file comment) */
+    /** @{ */
+    std::vector<BlockInfo> blocks_;         //!< By block id.
+    std::vector<DataAccessSpec> dataSpecs_; //!< All blocks, flattened.
+    std::vector<std::uint32_t> body_;       //!< Concatenated bodies.
+    std::vector<Addr> bodyAddrs_;           //!< Parallel to body_.
+    std::vector<std::int32_t> rareAfter_;   //!< Parallel to body_.
+    std::vector<FuncInfo> funcs_;           //!< By function id.
+    std::vector<RegionInfo> regions_;       //!< By region index.
+    /** @} */
+
+    /**
+     * Call stack as a frame pool: frames above depth_ are dead but
+     * keep their loops-vector capacity, so call/return does not
+     * allocate in steady state.
+     */
     std::vector<Frame> stack_;
+    std::size_t depth_ = 0;
     std::vector<std::uint64_t> regionCursor_;
 };
 

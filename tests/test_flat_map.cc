@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for util/flat_map.hh (the open-addressed hot-path map)
+ * and for the shift/mask address decomposition of CacheGeometry
+ * against the original division forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "util/flat_map.hh"
+#include "util/rng.hh"
+
+namespace trrip {
+namespace {
+
+// ----------------------------- FlatMap ------------------------------
+
+TEST(FlatMapTest, InsertFindErase)
+{
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+
+    auto [v, inserted] = m.tryEmplace(42);
+    EXPECT_TRUE(inserted);
+    *v = 7;
+    EXPECT_EQ(m.size(), 1u);
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 7);
+
+    auto [v2, inserted2] = m.tryEmplace(42);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(v2, m.find(42));
+
+    EXPECT_TRUE(m.erase(42));
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, ZeroKeyIsAValidKey)
+{
+    FlatMap<int> m;
+    m[0] = 11;
+    EXPECT_TRUE(m.contains(0));
+    EXPECT_EQ(*m.find(0), 11);
+    EXPECT_TRUE(m.erase(0));
+    EXPECT_FALSE(m.contains(0));
+}
+
+TEST(FlatMapTest, GrowthKeepsAllEntries)
+{
+    FlatMap<std::uint64_t> m(8);
+    const std::size_t initial_cap = m.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m[k * 0x9e3779b9ull] = k;
+    EXPECT_GT(m.capacity(), initial_cap);
+    EXPECT_EQ(m.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        const std::uint64_t *v = m.find(k * 0x9e3779b9ull);
+        ASSERT_NE(v, nullptr) << "lost key " << k;
+        EXPECT_EQ(*v, k);
+    }
+}
+
+TEST(FlatMapTest, TombstoneSlotsAreReused)
+{
+    FlatMap<int> m(16);
+    const std::size_t cap = m.capacity();
+    // Insert/erase cycles far beyond the capacity: without tombstone
+    // reuse (or cleanup on rehash) the table would fill with ghosts.
+    for (int round = 0; round < 10000; ++round) {
+        m[static_cast<std::uint64_t>(round)] = round;
+        EXPECT_TRUE(m.erase(static_cast<std::uint64_t>(round)));
+    }
+    EXPECT_TRUE(m.empty());
+    // Steady-state size-1 occupancy must not have ballooned the table.
+    EXPECT_LE(m.capacity(), 4 * cap);
+}
+
+TEST(FlatMapTest, SlotHandlesSurviveErase)
+{
+    FlatMap<int> m;
+    m[10] = 1;
+    m[20] = 2;
+    m[30] = 3;
+    const std::size_t slot = m.findSlot(20);
+    ASSERT_NE(slot, FlatMap<int>::npos);
+    EXPECT_EQ(m.slotKey(slot), 20u);
+    EXPECT_EQ(m.slotValue(slot), 2);
+    m.eraseSlot(slot);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_FALSE(m.contains(20));
+    // Erasing by slot must not disturb colliding/neighboring entries.
+    EXPECT_TRUE(m.contains(10));
+    EXPECT_TRUE(m.contains(30));
+}
+
+TEST(FlatMapTest, EraseIfAndForEach)
+{
+    FlatMap<int> m;
+    for (int k = 0; k < 100; ++k)
+        m[static_cast<std::uint64_t>(k)] = k;
+    m.eraseIf([](std::uint64_t, const int &v) { return v % 2 == 0; });
+    EXPECT_EQ(m.size(), 50u);
+    int sum = 0;
+    m.forEach([&](std::uint64_t, const int &v) { sum += v; });
+    EXPECT_EQ(sum, 2500); // 1 + 3 + ... + 99.
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomOps)
+{
+    FlatMap<std::uint64_t> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(1234);
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = rng.below(512);
+        if (rng.chance(0.4)) {
+            const bool erased_ref = ref.erase(key) > 0;
+            EXPECT_EQ(m.erase(key), erased_ref);
+        } else {
+            const std::uint64_t val = rng.next();
+            m[key] = val;
+            ref[key] = val;
+        }
+        EXPECT_EQ(m.size(), ref.size());
+    }
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), v);
+    }
+}
+
+TEST(FlatMapTest, ClearResets)
+{
+    FlatMap<int> m;
+    for (int k = 0; k < 64; ++k)
+        m[static_cast<std::uint64_t>(k)] = k;
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.contains(5));
+    m[5] = 50;
+    EXPECT_EQ(*m.find(5), 50);
+}
+
+// ----------------- Geometry shift/mask equivalence ------------------
+
+/** The pre-optimization division forms of the address mapping. */
+std::uint32_t
+refSetIndex(const CacheGeometry &g, Addr a)
+{
+    return static_cast<std::uint32_t>(
+        (a / g.lineBytes) & (g.numSets() - 1));
+}
+
+Addr
+refTag(const CacheGeometry &g, Addr a)
+{
+    return (a / g.lineBytes) / g.numSets();
+}
+
+Addr
+refLineAddr(const CacheGeometry &g, Addr a)
+{
+    return a & ~static_cast<Addr>(g.lineBytes - 1);
+}
+
+TEST(GeometryEquivalence, ShiftMaskMatchesDivisionForms)
+{
+    // Non-trivial shapes, including non-power-of-two associativity
+    // (12-way: sets stay a power of two because size scales with
+    // assoc) and single-set / tiny-line corners.
+    const std::vector<CacheGeometry> shapes = {
+        {"l1", 64 * 1024, 4, 64},
+        {"l2", 128 * 1024, 8, 64},
+        {"slc", 1024 * 1024, 16, 64},
+        {"assoc12", 12 * 64 * 64, 12, 64},       // 64 sets, 12-way.
+        {"assoc3", 3 * 128 * 32, 3, 32},         // 128 sets, 3-way.
+        {"wide_line", 512 * 1024, 8, 256},
+        {"narrow_line", 16 * 1024, 2, 16},
+        {"one_set", 4 * 64, 4, 64},              // Single set.
+        {"tall", 8 * 1024 * 1024, 32, 128},
+    };
+    Rng rng(99);
+    for (const CacheGeometry &g : shapes) {
+        g.check();
+        // Structured addresses: walk lines around set boundaries.
+        for (Addr a = 0; a < 4096 * g.lineBytes; a += g.lineBytes / 2) {
+            ASSERT_EQ(g.setIndex(a), refSetIndex(g, a)) << g.name;
+            ASSERT_EQ(g.tag(a), refTag(g, a)) << g.name;
+            ASSERT_EQ(g.lineAddr(a), refLineAddr(g, a)) << g.name;
+        }
+        // Random 48-bit addresses.
+        for (int i = 0; i < 20000; ++i) {
+            const Addr a = rng.below(1ull << 48);
+            ASSERT_EQ(g.setIndex(a), refSetIndex(g, a)) << g.name;
+            ASSERT_EQ(g.tag(a), refTag(g, a)) << g.name;
+            ASSERT_EQ(g.lineAddr(a), refLineAddr(g, a)) << g.name;
+        }
+    }
+}
+
+TEST(GeometryEquivalence, LazyDerivationWithoutCheck)
+{
+    // Geometries used before check() (tests, analysis helpers) must
+    // still decompose correctly via the lazy fallback.
+    CacheGeometry g{"lazy", 256 * 1024, 8, 64};
+    EXPECT_EQ(g.setIndex(0x12345678), refSetIndex(g, 0x12345678));
+    EXPECT_EQ(g.tag(0x12345678), refTag(g, 0x12345678));
+    EXPECT_EQ(g.numSets(), 512u);
+}
+
+TEST(GeometryEquivalence, CheckRefreshesAfterMutation)
+{
+    CacheGeometry g{"mut", 64 * 1024, 4, 64};
+    g.check();
+    const std::uint32_t before = g.numSets();
+    g.sizeBytes = 128 * 1024;
+    g.check(); // Re-derives the cached constants.
+    EXPECT_EQ(g.numSets(), 2 * before);
+    EXPECT_EQ(g.setIndex(0xabcdef), refSetIndex(g, 0xabcdef));
+    EXPECT_EQ(g.tag(0xabcdef), refTag(g, 0xabcdef));
+}
+
+} // namespace
+} // namespace trrip
