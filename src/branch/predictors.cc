@@ -28,12 +28,22 @@ GsharePredictor::predict(Addr pc) const
 void
 GsharePredictor::update(Addr pc, bool taken)
 {
+    // One state machine: the fused form is authoritative, update()
+    // just discards the prediction.
+    (void)predictAndTrain(pc, taken);
+}
+
+bool
+GsharePredictor::predictAndTrain(Addr pc, bool taken)
+{
     std::uint8_t &ctr = pht_[index(pc)];
+    const bool predicted = ctr > 1;
     if (taken)
         ctr += ctr < 3 ? 1 : 0;
     else
         ctr -= ctr > 0 ? 1 : 0;
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    return predicted;
 }
 
 Btb::Btb(std::size_t entries) : table_(entries)
@@ -60,6 +70,19 @@ Btb::update(Addr pc, Addr target)
     e.valid = true;
     e.pc = pc;
     e.target = target;
+}
+
+bool
+Btb::lookupAndUpdate(Addr pc, Addr target, Addr &predicted)
+{
+    Entry &e = table_[(pc >> 2) & (table_.size() - 1)];
+    const bool hit = e.valid && e.pc == pc;
+    if (hit)
+        predicted = e.target;
+    e.valid = true;
+    e.pc = pc;
+    e.target = target;
+    return hit;
 }
 
 SetAssocBtb::SetAssocBtb(std::size_t entries, std::uint32_t ways,
@@ -177,7 +200,24 @@ LoopPredictor::predict(Addr pc, bool &taken) const
 void
 LoopPredictor::update(Addr pc, bool taken)
 {
+    // One state machine: the fused form is authoritative, update()
+    // just discards the prediction.
+    bool unused = false;
+    (void)predictAndTrain(pc, taken, unused);
+}
+
+bool
+LoopPredictor::predictAndTrain(Addr pc, bool taken, bool &taken_out)
+{
     Entry &e = slot(pc);
+    // Pre-update prediction, exactly as predict() would have made it.
+    bool predicted = false;
+    if (e.valid && e.pc == pc && e.confidence >= 2 &&
+        e.tripCount != 0) {
+        taken_out = e.currentCount < e.tripCount;
+        predicted = true;
+    }
+    // Update, exactly as update() on the same slot.
     if (!e.valid || e.pc != pc) {
         e = Entry();
         e.valid = true;
@@ -185,9 +225,8 @@ LoopPredictor::update(Addr pc, bool taken)
     }
     if (taken) {
         ++e.currentCount;
-        return;
+        return predicted;
     }
-    // Loop exit: compare the completed streak against the learned one.
     if (e.tripCount == e.currentCount) {
         if (e.confidence < 3)
             ++e.confidence;
@@ -196,24 +235,26 @@ LoopPredictor::update(Addr pc, bool taken)
         e.confidence = 0;
     }
     e.currentCount = 0;
+    return predicted;
 }
 
 void
 ReturnAddressStack::push(Addr ret)
 {
-    if (stack_.size() >= depth_)
-        stack_.erase(stack_.begin());
-    stack_.push_back(ret);
+    ring_[top_] = ret;
+    top_ = top_ + 1 == depth_ ? 0 : top_ + 1;
+    if (count_ < depth_)
+        ++count_;
 }
 
 Addr
 ReturnAddressStack::pop()
 {
-    if (stack_.empty())
+    if (count_ == 0)
         return 0;
-    const Addr top = stack_.back();
-    stack_.pop_back();
-    return top;
+    top_ = top_ == 0 ? depth_ - 1 : top_ - 1;
+    --count_;
+    return ring_[top_];
 }
 
 BranchUnit::BranchUnit(const BranchParams &params) :
@@ -233,15 +274,6 @@ BranchUnit::btbLookup(Addr pc, Addr &target) const
     if (params_.trripBtb)
         return trripBtb_.lookup(pc, target);
     return btb_.lookup(pc, target);
-}
-
-void
-BranchUnit::btbUpdate(const BranchInfo &info)
-{
-    if (params_.trripBtb)
-        trripBtb_.update(info.pc, info.target, info.temp);
-    else
-        btb_.update(info.pc, info.target);
 }
 
 bool
@@ -266,26 +298,42 @@ BranchUnit::predictAndUpdate(const BranchInfo &info)
         out.mispredicted = predicted != info.target;
     } else if (info.isIndirect) {
         Addr predicted = 0;
-        const bool hit = indirectBtb_.lookup(info.pc, predicted);
+        const bool hit = indirectBtb_.lookupAndUpdate(
+            info.pc, info.target, predicted);
         out.mispredicted = !hit || predicted != info.target;
-        indirectBtb_.update(info.pc, info.target);
     } else {
-        const bool predicted_taken = predictDirection(info);
-        out.mispredicted = predicted_taken != info.taken;
+        // Fused predict + train: one slot access per structure
+        // instead of separate predict and update probes.  Prediction
+        // values and final state match predictDirection() followed by
+        // the individual update() calls exactly (gshare history and
+        // the loop slot are untouched between the paired halves).
+        bool predicted_taken = true;
         if (info.conditional) {
-            loop_.update(info.pc, info.taken);
-            gshare_.update(info.pc, info.taken);
+            bool loop_taken = false;
+            const bool loop_confident = loop_.predictAndTrain(
+                info.pc, info.taken, loop_taken);
+            const bool gshare_taken =
+                gshare_.predictAndTrain(info.pc, info.taken);
+            predicted_taken =
+                loop_confident ? loop_taken : gshare_taken;
         }
+        out.mispredicted = predicted_taken != info.taken;
         if (info.taken) {
             Addr predicted = 0;
-            out.btbMiss = !btbLookup(info.pc, predicted) ||
-                          predicted != info.target;
+            bool btb_hit;
+            if (params_.trripBtb) {
+                btb_hit = trripBtb_.lookup(info.pc, predicted);
+                trripBtb_.update(info.pc, info.target, info.temp);
+            } else {
+                btb_hit = btb_.lookupAndUpdate(info.pc, info.target,
+                                               predicted);
+            }
+            out.btbMiss = !btb_hit || predicted != info.target;
             if (out.btbMiss && !out.mispredicted) {
                 // Correct direction but unknown target still redirects
                 // the frontend; treat as a (cheaper) misprediction.
                 ++stats_.btbMisses;
             }
-            btbUpdate(info);
         }
     }
 

@@ -55,6 +55,15 @@ class GsharePredictor
     /** Update PHT and history with the resolved outcome. */
     void update(Addr pc, bool taken);
 
+    /**
+     * predict(pc) immediately followed by update(pc, taken) in one
+     * PHT slot access (history is unchanged between the two, so both
+     * resolve to the same index).  The resolve path runs this for
+     * every conditional branch; state and result are identical to the
+     * two separate calls.
+     */
+    bool predictAndTrain(Addr pc, bool taken);
+
   private:
     std::size_t index(Addr pc) const;
 
@@ -79,6 +88,13 @@ class Btb
 
     /** Install/refresh the mapping pc -> target. */
     void update(Addr pc, Addr target);
+
+    /**
+     * lookup() then update() on the one direct-mapped slot both
+     * resolve to; @p predicted receives the pre-update target on a
+     * hit.  Equivalent to the two separate calls.
+     */
+    bool lookupAndUpdate(Addr pc, Addr target, Addr &predicted);
 
   private:
     struct Entry
@@ -152,6 +168,14 @@ class LoopPredictor
     /** Observe the resolved outcome. */
     void update(Addr pc, bool taken);
 
+    /**
+     * predict() then update() in one table-slot access (both resolve
+     * to the same slot).  @return true when the pre-update entry made
+     * a confident prediction, written to @p taken_out.  State and
+     * result are identical to the two separate calls.
+     */
+    bool predictAndTrain(Addr pc, bool taken, bool &taken_out);
+
   private:
     struct Entry
     {
@@ -168,11 +192,17 @@ class LoopPredictor
     std::vector<Entry> table_;
 };
 
-/** Return address stack. */
+/**
+ * Return address stack: bounded depth, dropping the oldest entry on
+ * overflow.  Stored as a ring so pushing at full depth is O(1)
+ * (overwrite the oldest slot) instead of sliding the whole vector.
+ */
 class ReturnAddressStack
 {
   public:
-    explicit ReturnAddressStack(std::size_t depth = 16) : depth_(depth) {}
+    explicit ReturnAddressStack(std::size_t depth = 16) :
+        depth_(depth), ring_(depth, 0)
+    {}
 
     void push(Addr ret);
     /** Pop a prediction; 0 when empty. */
@@ -180,7 +210,9 @@ class ReturnAddressStack
 
   private:
     std::size_t depth_;
-    std::vector<Addr> stack_;
+    std::vector<Addr> ring_;
+    std::size_t top_ = 0;       //!< Next push slot.
+    std::size_t count_ = 0;     //!< Live entries (<= depth).
 };
 
 /** Configuration for the combined unit (defaults = paper Table 1). */
@@ -247,7 +279,6 @@ class BranchUnit
   private:
     bool predictDirection(const BranchInfo &info) const;
     bool btbLookup(Addr pc, Addr &target) const;
-    void btbUpdate(const BranchInfo &info);
 
     BranchParams params_;
     GsharePredictor gshare_;

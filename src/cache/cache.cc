@@ -2,8 +2,16 @@
 
 #include <bit>
 #include <cassert>
+#include <utility>
 
+#include "cache/replacement/clip.hh"
+#include "cache/replacement/drrip.hh"
+#include "cache/replacement/emissary.hh"
 #include "cache/replacement/lru.hh"
+#include "cache/replacement/random.hh"
+#include "cache/replacement/rrip.hh"
+#include "cache/replacement/ship.hh"
+#include "core/trrip_policy.hh"
 #include "util/logging.hh"
 
 namespace trrip {
@@ -11,20 +19,20 @@ namespace trrip {
 Cache::Cache(const CacheGeometry &geom,
              std::unique_ptr<ReplacementPolicy> policy) :
     geom_(geom), assoc_(geom.assoc), policy_(std::move(policy)),
-    lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc),
-    tags_(lines_.size(), 0),
+    tags_(static_cast<std::size_t>(geom.numSets()) * geom.assoc, 0),
+    meta_(tags_.size(), 0),
     freeWays_(geom.numSets(), geom.assoc)
 {
     geom_.check();
     panic_if(!policy_, geom_.name, ": null replacement policy");
-    lru_ = dynamic_cast<LruPolicy *>(policy_.get());
-    if (lru_)
-        lruStamps_.assign(lines_.size(), 0);
+    kind_ = policy_->kind();
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(static_cast<std::uint64_t>(geom_.lineBytes)));
     setMask_ = geom_.numSets() - 1;
     tagShift_ = lineShift_ + static_cast<std::uint32_t>(
         std::countr_zero(static_cast<std::uint64_t>(geom_.numSets())));
+    policy_->bindTags(TagView(tags_.data(), meta_.data(), assoc_,
+                              lineShift_, tagShift_));
 }
 
 Cache::Cache(const CacheGeometry &geom, const PolicySpec &policy) :
@@ -32,22 +40,47 @@ Cache::Cache(const CacheGeometry &geom, const PolicySpec &policy) :
 {
 }
 
-SetView
-Cache::setView(std::uint32_t set)
+/**
+ * Run @p fn with the policy downcast to its concrete class.  Every
+ * case instantiates the caller's template body once; inside it the
+ * hooks are non-virtual calls on a final class, so the optimizer
+ * inlines the SoA state updates straight into the cache loop.  The
+ * default arm keeps full generality for externally registered
+ * policies (PolicyKind::Generic) at the old virtual-dispatch cost.
+ */
+template <class Fn>
+decltype(auto)
+Cache::dispatch(Fn &&fn)
 {
-    return SetView(&lines_[static_cast<std::size_t>(set) * assoc_],
-                   assoc_);
+    switch (kind_) {
+      case PolicyKind::Lru:
+        return fn(static_cast<LruPolicy &>(*policy_));
+      case PolicyKind::Random:
+        return fn(static_cast<RandomPolicy &>(*policy_));
+      case PolicyKind::Srrip:
+        return fn(static_cast<SrripPolicy &>(*policy_));
+      case PolicyKind::Brrip:
+        return fn(static_cast<BrripPolicy &>(*policy_));
+      case PolicyKind::Drrip:
+        return fn(static_cast<DrripPolicy &>(*policy_));
+      case PolicyKind::Ship:
+        return fn(static_cast<ShipPolicy &>(*policy_));
+      case PolicyKind::Clip:
+        return fn(static_cast<ClipPolicy &>(*policy_));
+      case PolicyKind::Emissary:
+        return fn(static_cast<EmissaryPolicy &>(*policy_));
+      case PolicyKind::Trrip:
+        return fn(static_cast<TrripPolicy &>(*policy_));
+      case PolicyKind::Generic:
+        break;
+    }
+    return fn(*policy_);
 }
 
-ConstSetView
-Cache::setView(std::uint32_t set) const
-{
-    return ConstSetView(
-        &lines_[static_cast<std::size_t>(set) * assoc_], assoc_);
-}
-
+template <class Policy>
 bool
-Cache::access(const MemRequest &req, bool mark_dirty_on_write_hit)
+Cache::accessWith(Policy &pol, const MemRequest &req,
+                  bool mark_dirty_on_write_hit)
 {
     const std::uint32_t set = setOf(req.paddr);
     const Addr tag = tagOf(req.paddr);
@@ -58,23 +91,26 @@ Cache::access(const MemRequest &req, bool mark_dirty_on_write_hit)
         countDemand(req, hit);
 
     if (hit) {
-        const std::size_t idx =
-            static_cast<std::size_t>(set) * assoc_ +
-            static_cast<std::uint32_t>(way);
-        if (lru_) {
-            lruStamps_[idx] = lru_->nextTick();
-        } else {
-            policy_->onHit(set, static_cast<std::uint32_t>(way),
-                           setView(set), req);
+        pol.onHit(set, static_cast<std::uint32_t>(way), req);
+        if (mark_dirty_on_write_hit && req.isWrite()) {
+            meta_[static_cast<std::size_t>(set) * assoc_ +
+                  static_cast<std::uint32_t>(way)] |= kLineMetaDirty;
         }
-        if (mark_dirty_on_write_hit && req.isWrite())
-            lines_[idx].dirty = true;
     }
     return hit;
 }
 
 bool
-Cache::accessInvalidate(const MemRequest &req)
+Cache::access(const MemRequest &req, bool mark_dirty_on_write_hit)
+{
+    return dispatch([&](auto &pol) {
+        return accessWith(pol, req, mark_dirty_on_write_hit);
+    });
+}
+
+template <class Policy>
+bool
+Cache::accessInvalidateWith(Policy &pol, const MemRequest &req)
 {
     const std::uint32_t set = setOf(req.paddr);
     const Addr tag = tagOf(req.paddr);
@@ -89,48 +125,66 @@ Cache::accessInvalidate(const MemRequest &req)
             static_cast<std::size_t>(set) * assoc_ +
             static_cast<std::uint32_t>(way);
         // The policy hit handler still runs (its state -- the LRU
-        // tick, SHiP outcome bits -- must advance exactly as in
+        // order, SHiP outcome bits -- must advance exactly as in
         // access()), then the line leaves the cache.
-        if (lru_)
-            lruStamps_[idx] = lru_->nextTick();
-        else
-            policy_->onHit(set, static_cast<std::uint32_t>(way),
-                           setView(set), req);
-        lines_[idx].invalidate();
+        pol.onHit(set, static_cast<std::uint32_t>(way), req);
         tags_[idx] = 0;
+        meta_[idx] = 0;
         ++freeWays_[set];
         ++stats_.invalidations;
     }
     return hit;
 }
 
-const CacheLine *
-Cache::find(Addr paddr) const
+bool
+Cache::accessInvalidate(const MemRequest &req)
+{
+    return dispatch(
+        [&](auto &pol) { return accessInvalidateWith(pol, req); });
+}
+
+std::optional<CacheLine>
+Cache::peek(Addr paddr) const
 {
     const std::uint32_t set = setOf(paddr);
     const int way = findWay(set, tagOf(paddr));
     if (way < 0)
-        return nullptr;
-    return &lines_[static_cast<std::size_t>(set) * assoc_ +
-                   static_cast<std::uint32_t>(way)];
+        return std::nullopt;
+    return materialize(set, static_cast<std::size_t>(set) * assoc_ +
+                                static_cast<std::uint32_t>(way));
 }
 
-CacheLine *
-Cache::find(Addr paddr)
+CacheLine
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
 {
-    return const_cast<CacheLine *>(
-        static_cast<const Cache *>(this)->find(paddr));
+    return materialize(set,
+                       static_cast<std::size_t>(set) * assoc_ + way);
+}
+
+bool
+Cache::markDirty(Addr paddr)
+{
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way < 0)
+        return false;
+    meta_[static_cast<std::size_t>(set) * assoc_ +
+          static_cast<std::uint32_t>(way)] |= kLineMetaDirty;
+    return true;
 }
 
 void
-Cache::markDirty(Addr paddr)
+Cache::markPriority(Addr paddr)
 {
-    if (CacheLine *line = find(paddr))
-        line->dirty = true;
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way >= 0)
+        policy_->onPriorityHint(set, static_cast<std::uint32_t>(way));
 }
 
+template <class Policy>
 std::optional<CacheLine>
-Cache::fill(const MemRequest &req)
+Cache::fillWith(Policy &pol, const MemRequest &req)
 {
     const std::uint32_t set = setOf(req.paddr);
     const Addr tag = tagOf(req.paddr);
@@ -151,57 +205,39 @@ Cache::fill(const MemRequest &req)
             ++way;
         --freeWays_[set];
     } else {
-        if (lru_) {
-            // Inline LRU victim scan over the packed stamps (first
-            // minimum, as in LruPolicy::victim); LruPolicy has no
-            // onEvict bookkeeping.
-            const std::uint64_t *stamps = &lruStamps_[base];
-            way = 0;
-            for (std::uint32_t w = 1; w < assoc_; ++w) {
-                if (stamps[w] < stamps[way])
-                    way = w;
-            }
-        } else {
-            way = policy_->victim(set, setView(set), req);
-            panic_if(way >= assoc_,
-                     geom_.name, ": policy returned invalid victim way");
-            policy_->onEvict(set, way, lines_[base + way]);
-        }
-        const CacheLine &victim = lines_[base + way];
+        way = pol.victim(set, req);
+        panic_if(way >= assoc_,
+                 geom_.name, ": policy returned invalid victim way");
+        pol.onEvict(set, way);
+        const std::uint8_t vmeta = meta_[base + way];
         ++stats_.evictions;
-        ++stats_.evictionsByTemp[encodeTemperature(victim.temp)];
-        if (victim.isInst)
+        ++stats_.evictionsByTemp[(vmeta >> kLineMetaTempShift) & 0x3];
+        if (vmeta & kLineMetaInst)
             ++stats_.instEvictions;
         else
             ++stats_.dataEvictions;
-        if (victim.dirty)
+        if (vmeta & kLineMetaDirty)
             ++stats_.writebacks;
-        evicted = victim;
+        evicted = materialize(set, base + way);
     }
 
-    // Write every field directly; no invalidate()-then-reassign.
-    CacheLine &line = lines_[base + way];
-    line.valid = true;
-    line.dirty = req.isWrite();
-    line.tag = tag;
-    line.addr = geom_.lineAddr(req.paddr);
-    line.isInst = req.isInst();
-    line.temp = req.isInst() ? req.temp : Temperature::None;
-    line.rrpv = 0;
-    line.lruStamp = 0;
-    line.signature = 0;
-    line.outcome = false;
-    line.priority = false;
+    // The policy re-initializes its own per-way state in onFill().
     tags_[base + way] = (tag << 1) | 1;
+    meta_[base + way] =
+        packLineMeta(req.isWrite(), req.isInst(),
+                     req.isInst() ? req.temp : Temperature::None);
 
     ++stats_.fills;
     if (req.isPrefetch())
         ++stats_.prefetchFills;
-    if (lru_)
-        lruStamps_[base + way] = lru_->nextTick();
-    else
-        policy_->onFill(set, way, setView(set), req);
+    pol.onFill(set, way, req);
     return evicted;
+}
+
+std::optional<CacheLine>
+Cache::fill(const MemRequest &req)
+{
+    return dispatch([&](auto &pol) { return fillWith(pol, req); });
 }
 
 std::optional<CacheLine>
@@ -213,10 +249,9 @@ Cache::invalidate(Addr paddr)
         return std::nullopt;
     const std::size_t idx = static_cast<std::size_t>(set) * assoc_ +
                             static_cast<std::uint32_t>(way);
-    CacheLine &line = lines_[idx];
-    const CacheLine copy = line;
-    line.invalidate();
+    const CacheLine copy = materialize(set, idx);
     tags_[idx] = 0;
+    meta_[idx] = 0;
     ++freeWays_[set];
     ++stats_.invalidations;
     return copy;
@@ -234,12 +269,10 @@ Cache::residentLines() const
 void
 Cache::reset()
 {
-    for (auto &line : lines_)
-        line.invalidate();
     tags_.assign(tags_.size(), 0);
-    if (lru_)
-        lruStamps_.assign(lruStamps_.size(), 0);
+    meta_.assign(meta_.size(), 0);
     freeWays_.assign(freeWays_.size(), assoc_);
+    policy_->resetState();
     stats_ = CacheStats();
 }
 

@@ -3,13 +3,27 @@
  * A single set-associative cache level with a pluggable replacement
  * policy and instrumentation counters.
  *
- * Lookups run on a structure-of-arrays tag path: a packed per-set
- * array of (tag << 1) | valid words, so findWay() is a tight scan
- * over contiguous 8-byte words instead of a stride over ~48-byte
- * CacheLine structs, plus a per-set free-way count so fill() skips
- * the invalid-way scan when the set is full.  The CacheLine array
- * keeps the policy metadata and stays authoritative for everything
- * except presence; the packed tags mirror (valid, tag) exactly.
+ * Storage is fully structure-of-arrays: a packed per-set array of
+ * (tag << 1) | valid words (so findWay() is a tight scan over
+ * contiguous 8-byte words), one metadata byte per way holding the
+ * dirty/isInst flags and the 2-bit instrumentation temperature, and a
+ * per-set free-way count so fill() skips the invalid-way scan when
+ * the set is full.  Replacement state is SoA too, owned by the policy
+ * (see replacement/policy.hh).  There is no array of CacheLine
+ * structs at all: the full line address is derivable from (set, tag),
+ * so CacheLine exists only as the *value type* of the query/eviction
+ * API, materialized on demand.  A 1 MB 16-way SLC thus costs ~160 kB
+ * of host memory instead of ~650 kB, which keeps the whole simulated
+ * hierarchy's metadata resident in the host cache during the miss /
+ * eviction cascades.
+ *
+ * The access/fill/accessInvalidate bodies are member templates
+ * instantiated once per concrete policy class: the constructor reads
+ * ReplacementPolicy::kind() and every public entry point switches to
+ * the matching instantiation, in which the policy hooks are inlined
+ * non-virtual calls (the concrete classes are final).  Policies
+ * registered outside the built-in set report PolicyKind::Generic and
+ * take the virtual-dispatch fallback instantiation.
  */
 
 #ifndef TRRIP_CACHE_CACHE_HH
@@ -52,7 +66,8 @@ struct CacheStats
 
 /**
  * One cache level.  The cache is functional: it tracks contents and
- * policy state; the hierarchy layer adds timing.
+ * the policy tracks replacement state; the hierarchy layer adds
+ * timing.
  */
 class Cache
 {
@@ -65,6 +80,7 @@ class Cache
 
     const CacheGeometry &geometry() const { return geom_; }
     ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
     const CacheStats &stats() const { return stats_; }
 
     /**
@@ -91,14 +107,24 @@ class Cache
         return findWay(setOf(paddr), tagOf(paddr)) >= 0;
     }
 
-    /** Pointer to the line holding @p paddr, or nullptr. */
-    const CacheLine *find(Addr paddr) const;
+    /** Materialized copy of the line holding @p paddr, if present. */
+    std::optional<CacheLine> peek(Addr paddr) const;
 
-    /** Mutable line lookup (priority marking etc.). */
-    CacheLine *find(Addr paddr);
+    /** Materialized copy of (set, way) -- inclusion checks, tests. */
+    CacheLine lineAt(std::uint32_t set, std::uint32_t way) const;
 
-    /** Mark the line holding @p paddr dirty (store hit). */
-    void markDirty(Addr paddr);
+    /**
+     * Mark the line holding @p paddr dirty (store hit).
+     * @return true when the line was present (one tag probe).
+     */
+    bool markDirty(Addr paddr);
+
+    /**
+     * Forward a fetch-criticality hint for the line holding @p paddr
+     * to the policy (ReplacementPolicy::onPriorityHint); no-op when
+     * the line is absent.  The Emissary priority-bit path.
+     */
+    void markPriority(Addr paddr);
 
     /**
      * Install the line for @p req, evicting if necessary.
@@ -115,13 +141,7 @@ class Cache
     /** Number of valid lines currently resident. */
     std::uint64_t residentLines() const;
 
-    /** Direct set view for tests and analysis. */
-    SetView setView(std::uint32_t set);
-
-    /** Read-only set view (usable on a const cache). */
-    ConstSetView setView(std::uint32_t set) const;
-
-    /** Reset contents and statistics. */
+    /** Reset contents, statistics and the policy's per-line state. */
     void reset();
 
   private:
@@ -174,25 +194,42 @@ class Cache
     }
     Addr tagOf(Addr paddr) const { return paddr >> tagShift_; }
 
+    /** Materialize the CacheLine value of slot @p idx in @p set. */
+    CacheLine
+    materialize(std::uint32_t set, std::size_t idx) const
+    {
+        return materializeLine(tags_[idx], meta_[idx], set, lineShift_,
+                               tagShift_);
+    }
+
+    /**
+     * @name Policy-specialized hot paths
+     * One instantiation per concrete policy class (plus the
+     * ReplacementPolicy fallback); the public entry points select the
+     * instantiation through a switch on kind_.  Defined in cache.cc.
+     */
+    /** @{ */
+    template <class Policy>
+    bool accessWith(Policy &pol, const MemRequest &req,
+                    bool mark_dirty_on_write_hit);
+    template <class Policy>
+    bool accessInvalidateWith(Policy &pol, const MemRequest &req);
+    template <class Policy>
+    std::optional<CacheLine> fillWith(Policy &pol,
+                                      const MemRequest &req);
+    template <class Fn>
+    decltype(auto) dispatch(Fn &&fn);
+    /** @} */
+
     CacheGeometry geom_;
     std::uint32_t assoc_;   //!< Cached geom_.assoc for the tag scan.
     std::uint32_t lineShift_ = 6, setMask_ = 0, tagShift_ = 6;
     std::unique_ptr<ReplacementPolicy> policy_;
-    /** Non-null when policy_ is LRU: hits/fills stamp inline instead
-     *  of a virtual dispatch (see LruPolicy::nextTick). */
-    class LruPolicy *lru_ = nullptr;
-    std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major.
+    PolicyKind kind_ = PolicyKind::Generic;
     /** Packed (tag << 1) | valid per way, set-major (the scan path). */
     std::vector<std::uint64_t> tags_;
-    /**
-     * LRU-fast-path recency stamps, packed set-major (allocated only
-     * when the policy is LRU).  With the fast path active the cache
-     * owns every stamp write, so hits touch only this array and the
-     * packed tags -- never the CacheLine structs -- and the victim
-     * scan reads 8 bytes per way instead of a whole CacheLine.  The
-     * CacheLine::lruStamp field is unused (stays 0) in that case.
-     */
-    std::vector<std::uint64_t> lruStamps_;
+    /** Per-way dirty/isInst/temp byte (see kMeta constants). */
+    std::vector<std::uint8_t> meta_;
     /** Invalid ways per set; fill() skips its scan when zero. */
     std::vector<std::uint32_t> freeWays_;
     CacheStats stats_;

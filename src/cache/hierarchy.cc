@@ -248,11 +248,13 @@ void
 CacheHierarchy::victimToSlc(const CacheLine &line, Cycles now)
 {
     if (!params_.slcExclusive) {
-        if (CacheLine *present = slc_.find(line.addr)) {
-            if (line.dirty)
-                present->dirty = true;
+        // One probe: a dirty victim merges into a present copy via
+        // markDirty (which reports presence); a clean one only needs
+        // the presence check.
+        const bool present = line.dirty ? slc_.markDirty(line.addr)
+                                        : slc_.contains(line.addr);
+        if (present)
             return;
-        }
     }
     MemRequest req = requestFor(line);
     if (line.dirty)
@@ -268,16 +270,14 @@ CacheHierarchy::fillL1(Cache &l1, const MemRequest &req)
     auto evicted = l1.fill(req);
     if (evicted && evicted->dirty) {
         // Inclusive L2 still holds the line; just mark it dirty.
-        if (CacheLine *line = l2_.find(evicted->addr))
-            line->dirty = true;
+        l2_.markDirty(evicted->addr);
     }
 }
 
 void
 CacheHierarchy::markL2Priority(Addr paddr)
 {
-    if (CacheLine *line = l2_.find(paddr))
-        line->priority = true;
+    l2_.markPriority(paddr);
 }
 
 double
@@ -306,7 +306,8 @@ CacheHierarchy::checkInclusion() const
     // Every valid L1 line must be present in the L2.
     const auto check = [this](const Cache &l1) {
         for (std::uint32_t s = 0; s < l1.geometry().numSets(); ++s) {
-            for (const CacheLine &line : l1.setView(s)) {
+            for (std::uint32_t w = 0; w < l1.geometry().assoc; ++w) {
+                const CacheLine line = l1.lineAt(s, w);
                 if (line.valid && !l2_.contains(line.addr))
                     return false;
             }

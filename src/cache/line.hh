@@ -2,11 +2,14 @@
  * @file
  * Per-line cache metadata.
  *
- * The block carries the union of all per-line state the implemented
- * replacement policies need (RRPV, LRU stamp, SHiP signature/outcome,
- * Emissary priority bit).  Each policy reads/writes only its own
- * fields; keeping them in one POD keeps the policy interface uniform
- * and the storage cost of each baseline auditable (see power model).
+ * The line carries only what the *cache* needs to track its contents:
+ * tag, full line address, and the valid/dirty/isInst flags.  All
+ * replacement-policy state (RRPVs, LRU stamps, SHiP signatures and
+ * outcome bits, Emissary priority bits) lives in structure-of-arrays
+ * storage owned by the ReplacementPolicy itself, indexed by
+ * set * ways + way -- so victim scans touch tightly packed typed
+ * arrays instead of striding over CacheLine structs, and adding a
+ * policy never widens the line.
  *
  * @note @c temp mirrors the request temperature at fill time purely for
  *       simulator instrumentation (hot-eviction statistics, Fig. 3
@@ -27,19 +30,14 @@ namespace trrip {
 /**
  * Metadata for one cache line (way) in a set.
  *
- * Packed to 32 bytes (two lines per host cache line): the simulated
- * caches' metadata arrays are the hottest data structures in the whole
- * simulator, and the set scans in victim() walk them linearly.  The
- * flag bools share one byte as bitfields; field names and usage are
- * unchanged.
+ * Packed to 24 bytes now that policy state is externalized; the
+ * static_assert below keeps policy fields from silently creeping back
+ * in (they belong in the policy's own SoA arrays).
  */
 struct CacheLine
 {
     Addr tag = 0;
     Addr addr = 0;              //!< Full line-aligned address.
-    std::uint64_t lruStamp = 0;     //!< LRU recency stamp.
-    std::uint16_t signature = 0;    //!< SHiP PC signature.
-    std::uint8_t rrpv = 0;          //!< RRIP re-reference prediction.
 
     /** Instrumentation-only copy of the fill-time page temperature. */
     Temperature temp = Temperature::None;
@@ -47,16 +45,52 @@ struct CacheLine
     bool valid : 1 = false;
     bool dirty : 1 = false;
     bool isInst : 1 = false;    //!< Filled by an instruction request.
-    bool outcome : 1 = false;   //!< SHiP reuse ("was re-referenced").
-    bool priority : 1 = false;  //!< Emissary costly-line bit.
-
-    /** Reset to the invalid state. */
-    void
-    invalidate()
-    {
-        *this = CacheLine();
-    }
 };
+
+static_assert(sizeof(CacheLine) <= 24,
+              "CacheLine must stay lean: replacement-policy state "
+              "belongs in the policy's SoA arrays, not in the line");
+
+/**
+ * @name Packed per-way metadata byte
+ * The cache's SoA storage keeps each way's residual state (dirty,
+ * isInst, instrumentation temperature) in one byte; validity and tag
+ * live in the packed (tag << 1) | valid word, and the line address is
+ * derivable from (set, tag).  These helpers are shared by the Cache
+ * and the read-only TagView so both materialize identical CacheLine
+ * values.
+ */
+/** @{ */
+constexpr std::uint8_t kLineMetaDirty = 0x1;
+constexpr std::uint8_t kLineMetaInst = 0x2;
+constexpr unsigned kLineMetaTempShift = 2;
+
+constexpr std::uint8_t
+packLineMeta(bool dirty, bool is_inst, Temperature temp)
+{
+    return static_cast<std::uint8_t>(
+        (dirty ? kLineMetaDirty : 0) | (is_inst ? kLineMetaInst : 0) |
+        (encodeTemperature(temp) << kLineMetaTempShift));
+}
+
+/** Materialize the CacheLine value of (set, way) from SoA storage. */
+constexpr CacheLine
+materializeLine(std::uint64_t tag_word, std::uint8_t meta,
+                std::uint32_t set, std::uint32_t line_shift,
+                std::uint32_t tag_shift)
+{
+    CacheLine line;
+    line.tag = tag_word >> 1;
+    line.addr = (line.tag << tag_shift) |
+                (static_cast<Addr>(set) << line_shift);
+    line.temp = decodeTemperature(
+        static_cast<std::uint8_t>(meta >> kLineMetaTempShift));
+    line.valid = (tag_word & 1) != 0;
+    line.dirty = (meta & kLineMetaDirty) != 0;
+    line.isInst = (meta & kLineMetaInst) != 0;
+    return line;
+}
+/** @} */
 
 } // namespace trrip
 

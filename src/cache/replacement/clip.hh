@@ -19,7 +19,7 @@ namespace trrip {
  * hits only step their RRPV down by one, keeping instruction lines in
  * the high-priority positions longer (paper section 4.3).
  */
-class ClipPolicy : public RripBase
+class ClipPolicy final : public RripBase
 {
   public:
     ClipPolicy(const CacheGeometry &geom, unsigned rrpv_bits = 2,
@@ -38,33 +38,35 @@ class ClipPolicy : public RripBase
                ",psel_bits=" + std::to_string(dueling_.pselBits()) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Clip; }
+
     void
-    onHit(std::uint32_t set, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
         if (req.isInst() || dueling_.policyFor(set) == 0) {
-            line.rrpv = immediate();
+            setRrpv(set, way, immediate());
         } else {
             // Variant 1: conservative promotion of data lines.
-            line.rrpv = (line.rrpv > 0) ? line.rrpv - 1 : 0;
+            const std::uint8_t cur = rrpvOf(set, way);
+            setRrpv(set, way,
+                    cur > 0 ? static_cast<std::uint8_t>(cur - 1) : 0);
         }
     }
 
     std::uint32_t
-    victim(std::uint32_t set, SetView lines, const MemRequest &req)
-        override
+    victim(std::uint32_t set, const MemRequest &req) override
     {
         if (!req.isPrefetch())
             dueling_.onMiss(set);
-        return RripBase::victim(set, lines, req);
+        return RripBase::victim(set, req);
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &req) override
     {
-        lines[way].rrpv = req.isInst() ? immediate() : intermediate();
+        setRrpv(set, way, req.isInst() ? immediate() : intermediate());
     }
 
     const SetDueling &dueling() const { return dueling_; }

@@ -16,7 +16,7 @@ namespace trrip {
  * BRRIP constituency 1; followers insert according to the PSEL winner.
  * Promotion on hit is Immediate for all constituencies.
  */
-class DrripPolicy : public RripBase
+class DrripPolicy final : public RripBase
 {
   public:
     DrripPolicy(const CacheGeometry &geom, unsigned rrpv_bits = 2,
@@ -38,33 +38,35 @@ class DrripPolicy : public RripBase
                ",throttle=" + std::to_string(throttle_) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Drrip; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &) override
     {
-        lines[way].rrpv = immediate();
+        setRrpv(set, way, immediate());
     }
 
     std::uint32_t
-    victim(std::uint32_t set, SetView lines, const MemRequest &req)
-        override
+    victim(std::uint32_t set, const MemRequest &req) override
     {
         // Demand misses train the duel; prefetch fills do not.
         if (!req.isPrefetch())
             dueling_.onMiss(set);
-        return RripBase::victim(set, lines, req);
+        return RripBase::victim(set, req);
     }
 
     void
-    onFill(std::uint32_t set, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &) override
     {
         if (dueling_.policyFor(set) == 0) {
-            lines[way].rrpv = intermediate();
+            setRrpv(set, way, intermediate());
         } else {
             ++brripFills_;
-            lines[way].rrpv = (brripFills_ % throttle_ == 0)
-                                  ? intermediate() : distant();
+            setRrpv(set, way,
+                    (brripFills_ % throttle_ == 0) ? intermediate()
+                                                   : distant());
         }
     }
 

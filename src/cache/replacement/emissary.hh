@@ -10,6 +10,7 @@
 #define TRRIP_CACHE_REPLACEMENT_EMISSARY_HH
 
 #include <cstdio>
+#include <vector>
 
 #include "cache/replacement/policy.hh"
 #include "util/rng.hh"
@@ -23,8 +24,13 @@ namespace trrip {
  * saturation).  Victim selection evicts the LRU line among
  * non-priority ways while at most @c priorityWays priority lines
  * exist; beyond that the whole set competes.
+ *
+ * Recency stamps and priority bits are SoA state of this policy; the
+ * core's decode-starvation feedback arrives through onPriorityHint()
+ * (CacheHierarchy::markL2Priority), which sets the bit directly --
+ * the probabilistic filter applies only to hint-carrying requests.
  */
-class EmissaryPolicy : public ReplacementPolicy
+class EmissaryPolicy final : public ReplacementPolicy
 {
   public:
     /**
@@ -37,7 +43,8 @@ class EmissaryPolicy : public ReplacementPolicy
                             std::uint32_t priority_ways = 4,
                             double set_probability = 0.5) :
         ReplacementPolicy(geom), priorityWays_(priority_ways),
-        setProbability_(set_probability), rng_(0xe1155a47ull)
+        setProbability_(set_probability), rng_(0xe1155a47ull),
+        stamps_(slots(), 0), priority_(slots(), 0)
     {}
 
     std::string name() const override { return "Emissary"; }
@@ -51,39 +58,42 @@ class EmissaryPolicy : public ReplacementPolicy
                ",prob=" + prob + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Emissary; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
-        line.lruStamp = ++tick_;
-        if (req.priority && req.isInst() && !line.priority)
-            line.priority = rng_.chance(setProbability_);
+        const std::size_t i = idx(set, way);
+        stamps_[i] = ++tick_;
+        if (req.priority && req.isInst() && !priority_[i])
+            priority_[i] = rng_.chance(setProbability_) ? 1 : 0;
     }
 
     std::uint32_t
-    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    victim(std::uint32_t set, const MemRequest &) override
     {
+        const std::uint64_t *stamps = &stamps_[idx(set, 0)];
+        const std::uint8_t *prio = &priority_[idx(set, 0)];
+
         std::uint32_t prio_count = 0;
-        for (const auto &line : lines)
-            prio_count += line.priority ? 1 : 0;
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            prio_count += prio[w] ? 1 : 0;
 
         const bool protect = prio_count > 0 &&
                              prio_count <= priorityWays_;
-        std::uint32_t best = lines.size();
-        for (std::uint32_t w = 0; w < lines.size(); ++w) {
-            if (protect && lines[w].priority)
+        std::uint32_t best = ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (protect && prio[w])
                 continue;
-            if (best == lines.size() ||
-                lines[w].lruStamp < lines[best].lruStamp) {
+            if (best == ways_ || stamps[w] < stamps[best])
                 best = w;
-            }
         }
-        if (best == lines.size()) {
+        if (best == ways_) {
             // Every way is priority: fall back to global LRU.
             best = 0;
-            for (std::uint32_t w = 1; w < lines.size(); ++w) {
-                if (lines[w].lruStamp < lines[best].lruStamp)
+            for (std::uint32_t w = 1; w < ways_; ++w) {
+                if (stamps[w] < stamps[best])
                     best = w;
             }
         }
@@ -91,13 +101,35 @@ class EmissaryPolicy : public ReplacementPolicy
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
-        line.lruStamp = ++tick_;
-        line.priority = req.priority && req.isInst() &&
-                        rng_.chance(setProbability_);
+        const std::size_t i = idx(set, way);
+        stamps_[i] = ++tick_;
+        priority_[i] = (req.priority && req.isInst() &&
+                        rng_.chance(setProbability_))
+                           ? 1
+                           : 0;
+    }
+
+    void
+    onPriorityHint(std::uint32_t set, std::uint32_t way) override
+    {
+        priority_[idx(set, way)] = 1;
+    }
+
+    void
+    resetState() override
+    {
+        stamps_.assign(stamps_.size(), 0);
+        priority_.assign(priority_.size(), 0);
+    }
+
+    /** Priority bit of (set, way) -- tests and analysis. */
+    bool
+    priorityOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return priority_[idx(set, way)] != 0;
     }
 
   private:
@@ -105,6 +137,8 @@ class EmissaryPolicy : public ReplacementPolicy
     double setProbability_;
     Rng rng_;
     std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> stamps_;     //!< LRU recency stamps.
+    std::vector<std::uint8_t> priority_;    //!< Preserved-line bits.
 };
 
 } // namespace trrip

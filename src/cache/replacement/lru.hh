@@ -8,55 +8,128 @@
 #ifndef TRRIP_CACHE_REPLACEMENT_LRU_HH
 #define TRRIP_CACHE_REPLACEMENT_LRU_HH
 
+#include <cstring>
+#include <vector>
+
 #include "cache/replacement/policy.hh"
 
 namespace trrip {
 
-/** Classic LRU via monotonically increasing recency stamps. */
-class LruPolicy : public ReplacementPolicy
+/**
+ * Exact LRU as a per-set rank permutation, one byte per way.
+ *
+ * Every hit/fill promotes its way to rank 0 (MRU) and ages each way
+ * that was more recent by one; the victim is the unique way at rank
+ * ways-1.  This is the recency-stamp formulation with the stamps
+ * compressed to their rank order, so the victim choice is identical
+ * to "first minimum stamp" while a 16-way set costs 16 bytes instead
+ * of 128 -- the SLC's victim scan and the L1s' hit updates stay
+ * inside one or two host cache lines.  The promote is branch-free
+ * SWAR over 8-byte chunks (ranks stay below 128, so the per-byte
+ * compare borrows never cross lanes).
+ *
+ * LRU runs in the L1s and SLC, which see the bulk of all accesses:
+ * the cache's compile-time dispatch inlines these updates into the
+ * access/fill loops.
+ */
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     explicit LruPolicy(const CacheGeometry &geom) :
-        ReplacementPolicy(geom)
-    {}
+        ReplacementPolicy(geom),
+        stride_((geom.assoc + 7u) & ~7u),
+        ranks_(static_cast<std::size_t>(geom.numSets()) * stride_)
+    {
+        // Byte ranks + SWAR lanes bound the supported associativity;
+        // every modeled cache is far below this.
+        fatal_if(ways_ > 127, "LRU: associativity above 127 ways "
+                 "is not supported by the rank encoding");
+        resetState();
+    }
 
     std::string name() const override { return "LRU"; }
 
+    PolicyKind kind() const override { return PolicyKind::Lru; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &) override
     {
-        lines[way].lruStamp = ++tick_;
+        promote(set, way);
     }
 
     std::uint32_t
-    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    victim(std::uint32_t set, const MemRequest &) override
     {
+        const std::uint8_t *ranks =
+            &ranks_[static_cast<std::size_t>(set) * stride_];
+        const std::uint8_t lru =
+            static_cast<std::uint8_t>(ways_ - 1);
         std::uint32_t best = 0;
-        for (std::uint32_t w = 1; w < lines.size(); ++w) {
-            if (lines[w].lruStamp < lines[best].lruStamp)
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (ranks[w] == lru) {
                 best = w;
+                break;
+            }
         }
         return best;
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &) override
     {
-        lines[way].lruStamp = ++tick_;
+        promote(set, way);
     }
 
-    /**
-     * Devirtualized hot path: Cache detects an LruPolicy once at
-     * construction and stamps hits inline instead of going through
-     * the virtual onHit (LRU runs in the L1s and SLC, which see the
-     * bulk of all accesses).  Must stay equivalent to onHit/onFill.
-     */
-    std::uint64_t nextTick() { return ++tick_; }
+    void
+    resetState() override
+    {
+        // Identity permutation; SWAR padding lanes hold 127 so they
+        // never age (every real rank is below 127).
+        for (std::size_t base = 0; base < ranks_.size();
+             base += stride_) {
+            for (std::uint32_t w = 0; w < stride_; ++w) {
+                ranks_[base + w] = static_cast<std::uint8_t>(
+                    w < ways_ ? w : 127);
+            }
+        }
+    }
+
+    /** Current recency rank of (set, way); 0 = MRU (test hook). */
+    std::uint8_t
+    rankOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return ranks_[static_cast<std::size_t>(set) * stride_ + way];
+    }
 
   private:
-    std::uint64_t tick_ = 0;
+    /** Make @p way the MRU of @p set, ageing more-recent ways by 1. */
+    void
+    promote(std::uint32_t set, std::uint32_t way)
+    {
+        std::uint8_t *ranks =
+            &ranks_[static_cast<std::size_t>(set) * stride_];
+        const std::uint8_t old = ranks[way];
+        // Per-byte "+1 where rank < old": with all lanes below 128,
+        // (x | H) - old replicates x - old + 128 per byte with no
+        // cross-lane borrow, so the high bit is set exactly when
+        // x >= old.
+        const std::uint64_t lanes = 0x0101010101010101ull;
+        const std::uint64_t high = 0x8080808080808080ull;
+        const std::uint64_t old_b = lanes * old;
+        for (std::uint32_t c = 0; c < stride_; c += 8) {
+            std::uint64_t x;
+            std::memcpy(&x, ranks + c, 8);
+            const std::uint64_t ge = (x | high) - old_b;
+            x += (~ge & high) >> 7;
+            std::memcpy(ranks + c, &x, 8);
+        }
+        ranks[way] = 0;
+    }
+
+    std::uint32_t stride_;          //!< Ways rounded up to SWAR lanes.
+    std::vector<std::uint8_t> ranks_;   //!< Per-way recency rank.
 };
 
 } // namespace trrip

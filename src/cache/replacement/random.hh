@@ -12,7 +12,7 @@
 namespace trrip {
 
 /** Uniformly random victim selection (deterministic seeded stream). */
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     explicit RandomPolicy(const CacheGeometry &geom,
@@ -28,20 +28,20 @@ class RandomPolicy : public ReplacementPolicy
         return "Random(seed=" + std::to_string(seed_) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Random; }
+
     void
-    onHit(std::uint32_t, std::uint32_t, SetView, const MemRequest &)
-        override
+    onHit(std::uint32_t, std::uint32_t, const MemRequest &) override
     {}
 
     std::uint32_t
-    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    victim(std::uint32_t, const MemRequest &) override
     {
-        return static_cast<std::uint32_t>(rng_.below(lines.size()));
+        return static_cast<std::uint32_t>(rng_.below(ways_));
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t, SetView, const MemRequest &)
-        override
+    onFill(std::uint32_t, std::uint32_t, const MemRequest &) override
     {}
 
   private:

@@ -8,13 +8,17 @@
 #ifndef TRRIP_CACHE_REPLACEMENT_RRIP_HH
 #define TRRIP_CACHE_REPLACEMENT_RRIP_HH
 
+#include <vector>
+
 #include "cache/replacement/policy.hh"
 #include "util/rng.hh"
 
 namespace trrip {
 
 /**
- * Common RRIP machinery: an n-bit RRPV per line and the standard
+ * Common RRIP machinery: an n-bit RRPV per line -- one byte per way in
+ * a contiguous SoA array, so the eviction search scans numSets*ways
+ * bytes instead of striding over CacheLine structs -- and the standard
  * eviction search that ages the set until a distant line appears.
  *
  * RRPV semantics with the default 2 bits (paper section 3.4):
@@ -25,7 +29,8 @@ class RripBase : public ReplacementPolicy
   public:
     RripBase(const CacheGeometry &geom, unsigned rrpv_bits = 2) :
         ReplacementPolicy(geom), rrpvBits_(rrpv_bits),
-        maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1))
+        maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1)),
+        rrpv_(slots(), 0)
     {}
 
     /** Configured RRPV width ("bits" in the registry schema). */
@@ -40,6 +45,13 @@ class RripBase : public ReplacementPolicy
     /** RRPV meaning a distant re-reference prediction. */
     std::uint8_t distant() const { return maxRrpv_; }
 
+    /** Current RRPV of (set, way) -- tests and derived policies. */
+    std::uint8_t
+    rrpvOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return rrpv_[idx(set, way)];
+    }
+
     /**
      * The RRIP eviction search shared by every derived policy and left
      * untouched by TRRIP (Algorithm 1 line 14): scan for RRPV == max,
@@ -48,39 +60,53 @@ class RripBase : public ReplacementPolicy
      * Implemented as the closed form of that loop: the victim is the
      * first way with the maximal RRPV, and every line ages by the
      * number of rounds the scan would have taken (max - rrpv[victim]).
-     * One read pass plus at most one write pass instead of re-scanning
-     * the set once per ageing round; the resulting state is identical.
+     * One read pass plus at most one write pass over the packed RRPV
+     * bytes of the set; the resulting state is identical.
      */
     std::uint32_t
-    victim(std::uint32_t, SetView lines, const MemRequest &) override
+    victim(std::uint32_t set, const MemRequest &) override
     {
+        std::uint8_t *rrpv = &rrpv_[idx(set, 0)];
         std::uint32_t best = 0;
-        for (std::uint32_t w = 1; w < lines.size(); ++w) {
-            if (lines[w].rrpv > lines[best].rrpv)
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (rrpv[w] > rrpv[best])
                 best = w;
         }
         const std::uint8_t age =
-            lines[best].rrpv >= maxRrpv_
+            rrpv[best] >= maxRrpv_
                 ? 0
-                : static_cast<std::uint8_t>(maxRrpv_ -
-                                            lines[best].rrpv);
+                : static_cast<std::uint8_t>(maxRrpv_ - rrpv[best]);
         if (age > 0) {
-            for (auto &line : lines)
-                line.rrpv = static_cast<std::uint8_t>(line.rrpv + age);
+            for (std::uint32_t w = 0; w < ways_; ++w)
+                rrpv[w] = static_cast<std::uint8_t>(rrpv[w] + age);
         }
         return best;
     }
 
+    void
+    resetState() override
+    {
+        rrpv_.assign(rrpv_.size(), 0);
+    }
+
   protected:
+    /** Set the RRPV of (set, way) -- the insertion/promotion hooks. */
+    void
+    setRrpv(std::uint32_t set, std::uint32_t way, std::uint8_t value)
+    {
+        rrpv_[idx(set, way)] = value;
+    }
+
     unsigned rrpvBits_;
     std::uint8_t maxRrpv_;
+    std::vector<std::uint8_t> rrpv_;    //!< One RRPV byte per way.
 };
 
 /**
  * Static RRIP with hit-priority promotion: insert at Intermediate,
  * promote to Immediate on hit.  The paper's normalization baseline.
  */
-class SrripPolicy : public RripBase
+class SrripPolicy final : public RripBase
 {
   public:
     explicit SrripPolicy(const CacheGeometry &geom,
@@ -96,18 +122,20 @@ class SrripPolicy : public RripBase
         return "SRRIP(bits=" + std::to_string(rrpvBits()) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Srrip; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &) override
     {
-        lines[way].rrpv = immediate();
+        setRrpv(set, way, immediate());
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &) override
     {
-        lines[way].rrpv = intermediate();
+        setRrpv(set, way, intermediate());
     }
 };
 
@@ -115,7 +143,7 @@ class SrripPolicy : public RripBase
  * Bimodal RRIP: insert at Distant with high probability (thrash
  * resistance), at Intermediate with probability 1/throttle.
  */
-class BrripPolicy : public RripBase
+class BrripPolicy final : public RripBase
 {
   public:
     explicit BrripPolicy(const CacheGeometry &geom,
@@ -133,21 +161,23 @@ class BrripPolicy : public RripBase
                ",throttle=" + std::to_string(throttle_) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Brrip; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &) override
     {
-        lines[way].rrpv = immediate();
+        setRrpv(set, way, immediate());
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &) override
     {
         // Deterministic 1-in-throttle epsilon insertion.
         ++fills_;
-        lines[way].rrpv = (fills_ % throttle_ == 0) ? intermediate()
-                                                    : distant();
+        setRrpv(set, way,
+                (fills_ % throttle_ == 0) ? intermediate() : distant());
     }
 
   private:

@@ -22,8 +22,13 @@ namespace trrip {
  * dead-on-arrival line (Distant insertion).  Hits set the line outcome
  * bit and increment the counter; evictions of never-hit lines decrement
  * it.  Data requests follow plain SRRIP.
+ *
+ * The per-line predictor metadata -- signature, outcome bit, and the
+ * was-an-instruction-fill flag -- is SoA state of this policy, exactly
+ * the dedicated outside-the-tag-array predictor storage the original
+ * hardware proposal costs out (see power/mcpat_lite).
  */
-class ShipPolicy : public RripBase
+class ShipPolicy final : public RripBase
 {
   public:
     /**
@@ -36,7 +41,8 @@ class ShipPolicy : public RripBase
                         unsigned rrpv_bits = 2,
                         unsigned shct_bits = 18) :
         RripBase(geom, rrpv_bits), shctBits_(shct_bits),
-        shct_(checkedShctEntries(shct_bits), SatCounter(2, 1))
+        shct_(checkedShctEntries(shct_bits), SatCounter(2, 1)),
+        signature_(slots(), 0), outcome_(slots(), 0), inst_(slots(), 0)
     {}
 
     std::string name() const override { return "SHiP"; }
@@ -48,39 +54,55 @@ class ShipPolicy : public RripBase
                ",shct_bits=" + std::to_string(shctBits_) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Ship; }
+
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
-        line.rrpv = immediate();
-        if (line.isInst && !req.isPrefetch()) {
-            line.outcome = true;
-            shct_[line.signature % shct_.size()].increment();
+        const std::size_t i = idx(set, way);
+        setRrpv(set, way, immediate());
+        if (inst_[i] && !req.isPrefetch()) {
+            outcome_[i] = 1;
+            shct_[signature_[i] % shct_.size()].increment();
         }
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
+        const std::size_t i = idx(set, way);
         if (req.isInst()) {
-            line.signature = signatureOf(req.pc);
-            line.outcome = false;
-            const bool dead =
-                shct_[line.signature % shct_.size()].isZero();
-            line.rrpv = dead ? distant() : intermediate();
+            const std::uint16_t sig = signatureOf(req.pc);
+            signature_[i] = sig;
+            outcome_[i] = 0;
+            inst_[i] = 1;
+            const bool dead = shct_[sig % shct_.size()].isZero();
+            setRrpv(set, way, dead ? distant() : intermediate());
         } else {
-            line.rrpv = intermediate();
+            signature_[i] = 0;
+            outcome_[i] = 0;
+            inst_[i] = 0;
+            setRrpv(set, way, intermediate());
         }
     }
 
     void
-    onEvict(std::uint32_t, std::uint32_t, const CacheLine &line) override
+    onEvict(std::uint32_t set, std::uint32_t way) override
     {
-        if (line.isInst && !line.outcome)
-            shct_[line.signature % shct_.size()].decrement();
+        const std::size_t i = idx(set, way);
+        if (inst_[i] && !outcome_[i])
+            shct_[signature_[i] % shct_.size()].decrement();
+    }
+
+    void
+    resetState() override
+    {
+        RripBase::resetState();
+        signature_.assign(signature_.size(), 0);
+        outcome_.assign(outcome_.size(), 0);
+        inst_.assign(inst_.size(), 0);
     }
 
     /** 14-bit folded PC signature. */
@@ -105,6 +127,9 @@ class ShipPolicy : public RripBase
 
     unsigned shctBits_;
     std::vector<SatCounter> shct_;
+    std::vector<std::uint16_t> signature_;  //!< Fill-time PC signature.
+    std::vector<std::uint8_t> outcome_;     //!< Re-referenced since fill.
+    std::vector<std::uint8_t> inst_;        //!< Filled by an inst request.
 };
 
 } // namespace trrip

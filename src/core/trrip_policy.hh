@@ -35,7 +35,7 @@ enum class TrripVariant {
 };
 
 /** The TRRIP cache replacement policy (paper Algorithm 1). */
-class TrripPolicy : public RripBase
+class TrripPolicy final : public RripBase
 {
   public:
     explicit TrripPolicy(const CacheGeometry &geom,
@@ -67,53 +67,56 @@ class TrripPolicy : public RripBase
         return base + "(bits=" + std::to_string(rrpvBits()) + ")";
     }
 
+    PolicyKind kind() const override { return PolicyKind::Trrip; }
+
     TrripVariant variant() const { return variant_; }
 
     void
-    onHit(std::uint32_t, std::uint32_t way, SetView lines,
+    onHit(std::uint32_t set, std::uint32_t way,
           const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
         if (triggers(req)) {
             if (req.temp == Temperature::Hot) {
                 // Algorithm 1 lines 3-5: hot hits promote to Immediate.
-                line.rrpv = immediate();
+                setRrpv(set, way, immediate());
                 return;
             }
             if (variant_ == TrripVariant::V2) {
                 // Algorithm 1 lines 6-8: warm/cold hits only step
                 // toward Immediate, keeping hot lines ahead of them.
-                line.rrpv = line.rrpv > immediate() ? line.rrpv - 1
-                                                    : immediate();
+                const std::uint8_t cur = rrpvOf(set, way);
+                setRrpv(set, way,
+                        cur > immediate()
+                            ? static_cast<std::uint8_t>(cur - 1)
+                            : immediate());
                 return;
             }
         }
         // Algorithm 1 lines 9-11: default RRIP behavior.
-        line.rrpv = immediate();
+        setRrpv(set, way, immediate());
     }
 
     void
-    onFill(std::uint32_t, std::uint32_t way, SetView lines,
+    onFill(std::uint32_t set, std::uint32_t way,
            const MemRequest &req) override
     {
-        CacheLine &line = lines[way];
         if (triggers(req)) {
             if (req.temp == Temperature::Hot) {
                 // Algorithm 1 lines 16-18: hot fills start Immediate to
                 // prevent premature eviction.
-                line.rrpv = immediate();
+                setRrpv(set, way, immediate());
                 return;
             }
             if (variant_ == TrripVariant::V2 &&
                 req.temp == Temperature::Warm) {
                 // Algorithm 1 lines 19-21: warm fills start Near --
                 // above data, below hot.
-                line.rrpv = near();
+                setRrpv(set, way, near());
                 return;
             }
         }
         // Algorithm 1 lines 22-24: default RRIP insertion.
-        line.rrpv = intermediate();
+        setRrpv(set, way, intermediate());
     }
 
   private:

@@ -12,8 +12,19 @@ CoreModel::CoreModel(Executor &executor, CacheHierarchy &hierarchy,
     params_(params), backend_(backend),
     window_(params.fdipLookahead + 1),
     lineMask_(~static_cast<Addr>(hierarchy.params().l2.lineBytes - 1)),
-    lineBytes_(hierarchy.params().l2.lineBytes)
+    lineBytes_(hierarchy.params().l2.lineBytes),
+    backendStallPerInstr_(backend.dependStallPerInstr +
+                          backend.issueStallPerInstr +
+                          backend.otherStallPerInstr)
 {
+    // The retire cost instrs / dispatchWidth is an FP division on the
+    // per-event critical path (it feeds now_); block sizes repeat, so
+    // the exact quotients are precomputed for every small size.  The
+    // values are the identical doubles the division would produce.
+    for (std::size_t n = 0; n < retireMemo_.size(); ++n) {
+        retireMemo_[n] =
+            static_cast<double>(n) / params_.dispatchWidth;
+    }
 }
 
 void
@@ -126,14 +137,12 @@ CoreModel::processEvent(const BBEvent &ev)
 
     // --- Retire plus synthetic backend components.
     const double instrs = static_cast<double>(ev.instrs);
-    const double retire = instrs / params_.dispatchWidth;
+    const double retire = retireCycles(ev.instrs);
     td_.retire += retire;
     td_.depend += instrs * backend_.dependStallPerInstr;
     td_.issue += instrs * backend_.issueStallPerInstr;
     td_.other += instrs * backend_.otherStallPerInstr;
-    now_ += retire + instrs * (backend_.dependStallPerInstr +
-                               backend_.issueStallPerInstr +
-                               backend_.otherStallPerInstr);
+    now_ += retire + instrs * backendStallPerInstr_;
 
     // --- Data accesses with MLP-aware exposure.
     for (std::uint8_t i = 0; i < ev.numData; ++i) {

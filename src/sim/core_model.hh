@@ -20,6 +20,7 @@
 #ifndef TRRIP_SIM_CORE_MODEL_HH
 #define TRRIP_SIM_CORE_MODEL_HH
 
+#include <array>
 #include <vector>
 
 #include "analysis/costly_miss.hh"
@@ -110,6 +111,15 @@ class CoreModel
     void fdipPrefetch();
     void processEvent(const BBEvent &ev);
 
+    /** Exact instrs / dispatchWidth, memoized for small sizes. */
+    double
+    retireCycles(std::uint32_t instrs) const
+    {
+        if (instrs < retireMemo_.size())
+            return retireMemo_[instrs];
+        return static_cast<double>(instrs) / params_.dispatchWidth;
+    }
+
     Executor &executor_;
     CacheHierarchy &hier_;
     Mmu &mmu_;
@@ -140,6 +150,11 @@ class CoreModel
     /** Cached L2 line mask/size (constants for the whole run). */
     Addr lineMask_ = ~static_cast<Addr>(63);
     std::uint32_t lineBytes_ = 64;
+
+    /** Precomputed backend stall sum (same double every event). */
+    double backendStallPerInstr_ = 0.0;
+    /** instrs / dispatchWidth for instrs in [0, 256). */
+    std::array<double, 256> retireMemo_{};
 
     double now_ = 0.0;
     InstCount instructions_ = 0;

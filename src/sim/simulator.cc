@@ -60,16 +60,8 @@ resolveProfileBudget(const SimOptions &options)
                : resolveBudget(options);
 }
 
-namespace {
-
-/**
- * Shared pipeline body.  @p l2_override, when non-null, replaces the
- * options' l2Policy spec (the deprecated L2PolicyMaker path).
- */
 RunArtifacts
-runWorkloadWith(const SyntheticWorkload &workload,
-                const SimOptions &options,
-                std::unique_ptr<ReplacementPolicy> l2_override)
+runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
 {
     RunArtifacts art;
 
@@ -108,11 +100,7 @@ runWorkloadWith(const SyntheticWorkload &workload,
     // (9)-(11) Execute: MMU stamps temperatures onto fetch requests.
     Mmu mmu(pt);
     BranchUnit branch(options.branch);
-    std::unique_ptr<ReplacementPolicy> l2_policy =
-        l2_override ? std::move(l2_override)
-                    : PolicyRegistry::instance().instantiate(
-                          options.hier.l2Policy, options.hier.l2);
-    CacheHierarchy hier(options.hier, std::move(l2_policy));
+    CacheHierarchy hier(options.hier);
     art.resolvedPolicies = {
         {"L1I", hier.l1i().policy().describe()},
         {"L1D", hier.l1d().policy().describe()},
@@ -136,23 +124,6 @@ runWorkloadWith(const SyntheticWorkload &workload,
     core.setCostlyTracker(options.costly);
     art.result = core.run(budget);
     return art;
-}
-
-} // namespace
-
-RunArtifacts
-runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
-{
-    return runWorkloadWith(workload, options, nullptr);
-}
-
-RunArtifacts
-runWorkload(const SyntheticWorkload &workload,
-            const L2PolicyMaker &make_policy, const SimOptions &options)
-{
-    panic_if(!make_policy, "runWorkload needs a policy maker");
-    return runWorkloadWith(workload, options,
-                           make_policy(options.hier.l2));
 }
 
 } // namespace trrip

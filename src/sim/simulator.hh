@@ -8,7 +8,6 @@
 #ifndef TRRIP_SIM_SIMULATOR_HH
 #define TRRIP_SIM_SIMULATOR_HH
 
-#include <functional>
 #include <memory>
 
 #include "analysis/costly_miss.hh"
@@ -21,15 +20,6 @@
 #include "workloads/executor.hh"
 
 namespace trrip {
-
-/**
- * Creates the L2 replacement policy for a given geometry.
- * Deprecated: policies are now chosen per level through the
- * PolicySpec fields of HierarchyParams (options.hier.l2Policy etc.);
- * this maker survives only for the policy_factory compatibility shim.
- */
-using L2PolicyMaker = std::function<
-    std::unique_ptr<ReplacementPolicy>(const CacheGeometry &)>;
 
 /** Options for one simulation run. */
 struct SimOptions
@@ -111,15 +101,6 @@ Profile collectProfile(const SyntheticWorkload &workload,
  * options.hier (l1iPolicy / l1dPolicy / l2Policy / slcPolicy).
  */
 RunArtifacts runWorkload(const SyntheticWorkload &workload,
-                         const SimOptions &options);
-
-/**
- * Deprecated compatibility overload: @p make_policy overrides
- * options.hier.l2Policy for the L2 (the other levels still follow
- * their specs).  Use the spec-driven runWorkload() instead.
- */
-RunArtifacts runWorkload(const SyntheticWorkload &workload,
-                         const L2PolicyMaker &make_policy,
                          const SimOptions &options);
 
 } // namespace trrip

@@ -303,16 +303,12 @@ TEST(EdgeRrpv, ThreeBitTrripKeepsOrdering)
     const CacheGeometry geom{"l2", 4 * 1024, 4, 64};
     TrripPolicy p(geom, TrripVariant::V2, 3);
     EXPECT_EQ(p.distant(), 7);
-    std::vector<CacheLine> lines(4);
-    for (auto &l : lines)
-        l.valid = true;
-    SetView v(lines.data(), lines.size());
     MemRequest warm = inst(0x100, Temperature::Warm);
-    p.onFill(0, 0, v, warm);
-    EXPECT_EQ(lines[0].rrpv, 1); // Near stays 1 regardless of width.
+    p.onFill(0, 0, warm);
+    EXPECT_EQ(p.rrpvOf(0, 0), 1); // Near stays 1 regardless of width.
     MemRequest none = inst(0x100, Temperature::None);
-    p.onFill(0, 1, v, none);
-    EXPECT_EQ(lines[1].rrpv, 6); // Intermediate = max - 1.
+    p.onFill(0, 1, none);
+    EXPECT_EQ(p.rrpvOf(0, 1), 6); // Intermediate = max - 1.
 }
 
 } // namespace

@@ -132,6 +132,11 @@ const GoldenCase kGoldenCases[] = {
     {"clang", "TRRIP-1", true, 0x237595874b157a43ull},
     {"sqlite", "SHiP", true, 0xa40ffba600a4f5e6ull},
     {"gcc", "DRRIP", false, 0x7b354e706eb46d74ull},
+    {"omnetpp", "BRRIP", true, 0xd25c0f74ab141037ull},
+    {"abseil", "CLIP", true, 0x4f83720389470805ull},
+    {"deepsjeng", "Emissary", true, 0xda094574784b19edull},
+    {"rapidjson", "Random", false, 0x4c50f5d1cf3b06daull},
+    {"bullet", "SRRIP(bits=3)", true, 0x57837c9ada14be9cull},
 };
 
 TEST(Golden, EngineFingerprintsAreBitIdentical)

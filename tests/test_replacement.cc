@@ -5,9 +5,22 @@
  * property tests that every policy (including TRRIP) must satisfy:
  * valid victims, bounded policy state, determinism, and never beating
  * Belady's optimal.
+ *
+ * Policies own their per-line state in SoA arrays (no line view in the
+ * hook API), so the unit tests drive hooks directly with (set, way,
+ * request) and observe state through rrpvOf()/victim().  The
+ * ReferenceEquivalence suite is the SoA/AoS differential guard: a
+ * straightforward array-of-structs reimplementation of every policy
+ * runs the same randomized trace through a reference cache model, and
+ * each ported policy must produce the same hit/miss sequence and the
+ * same victims, access for access.
  */
 
 #include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <vector>
 
 #include "analysis/belady.hh"
 #include "cache/cache.hh"
@@ -20,7 +33,9 @@
 #include "cache/replacement/set_dueling.hh"
 #include "cache/replacement/ship.hh"
 #include "core/policy_registry.hh"
+#include "core/trrip_policy.hh"
 #include "util/rng.hh"
+#include "util/sat_counter.hh"
 
 namespace trrip {
 namespace {
@@ -57,39 +72,37 @@ load(Addr a)
     return r;
 }
 
-std::vector<CacheLine>
-validSet(std::size_t ways)
-{
-    std::vector<CacheLine> lines(ways);
-    for (auto &l : lines)
-        l.valid = true;
-    return lines;
-}
-
 // ----------------------------- LRU --------------------------------
 
 TEST(Lru, EvictsLeastRecentlyUsed)
 {
     LruPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     for (std::uint32_t w = 0; w < 4; ++w)
-        p.onFill(0, w, v, inst(w * 64));
-    p.onHit(0, 0, v, inst(0)); // way 0 becomes MRU.
-    EXPECT_EQ(p.victim(0, v, inst(0x999)), 1u);
+        p.onFill(0, w, inst(w * 64));
+    p.onHit(0, 0, inst(0)); // way 0 becomes MRU.
+    EXPECT_EQ(p.victim(0, inst(0x999)), 1u);
 }
 
 TEST(Lru, HitRefreshesRecency)
 {
     LruPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     for (std::uint32_t w = 0; w < 4; ++w)
-        p.onFill(0, w, v, inst(w * 64));
-    p.onHit(0, 1, v, inst(64));
-    p.onHit(0, 0, v, inst(0));
+        p.onFill(0, w, inst(w * 64));
+    p.onHit(0, 1, inst(64));
+    p.onHit(0, 0, inst(0));
     // Ways 2 then 3 are now the oldest.
-    EXPECT_EQ(p.victim(0, v, inst(0x999)), 2u);
+    EXPECT_EQ(p.victim(0, inst(0x999)), 2u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruPolicy p(geom4w());
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(3, w, inst(w * 64));
+    // Touching another set must not disturb set 3's order.
+    p.onFill(5, 0, inst(0x5000));
+    p.onHit(3, 0, inst(0));
+    EXPECT_EQ(p.victim(3, inst(0x999)), 1u);
 }
 
 // ----------------------------- SRRIP -------------------------------
@@ -97,47 +110,41 @@ TEST(Lru, HitRefreshesRecency)
 TEST(Srrip, InsertsAtIntermediate)
 {
     SrripPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    p.onFill(0, 0, v, inst(0));
-    EXPECT_EQ(lines[0].rrpv, 2);
+    p.onFill(0, 0, inst(0));
+    EXPECT_EQ(p.rrpvOf(0, 0), 2);
 }
 
 TEST(Srrip, HitPromotesToImmediate)
 {
     SrripPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    lines[0].rrpv = 2;
-    p.onHit(0, 0, v, inst(0));
-    EXPECT_EQ(lines[0].rrpv, 0);
+    p.onFill(0, 0, inst(0)); // rrpv = 2.
+    p.onHit(0, 0, inst(0));
+    EXPECT_EQ(p.rrpvOf(0, 0), 0);
 }
 
 TEST(Srrip, VictimAgingSearch)
 {
     SrripPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    lines[0].rrpv = 1;
-    lines[1].rrpv = 3;
-    lines[2].rrpv = 0;
-    lines[3].rrpv = 2;
-    EXPECT_EQ(p.victim(0, v, inst(0x999)), 1u);
-    // No aging needed: RRPVs unchanged.
-    EXPECT_EQ(lines[0].rrpv, 1);
-    EXPECT_EQ(lines[2].rrpv, 0);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, inst(w * 64)); // All at Intermediate (2).
+    p.onHit(0, 2, inst(2 * 64));      // Way 2 -> Immediate (0).
+    // RRPVs {2, 2, 0, 2}: the search picks way 0 (first maximum) and
+    // ages the whole set by 3 - 2 = 1 until a Distant line appears.
+    EXPECT_EQ(p.victim(0, inst(0x999)), 0u);
+    EXPECT_EQ(p.rrpvOf(0, 1), 3);
+    EXPECT_EQ(p.rrpvOf(0, 2), 1);
 }
 
 TEST(Srrip, VictimAgesUntilDistantAppears)
 {
     SrripPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    for (auto &l : lines)
-        l.rrpv = 0;
-    EXPECT_EQ(p.victim(0, v, inst(0x999)), 0u);
-    for (std::size_t w = 1; w < 4; ++w)
-        EXPECT_EQ(lines[w].rrpv, 3);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        p.onFill(0, w, inst(w * 64));
+        p.onHit(0, w, inst(w * 64)); // Everyone at Immediate (0).
+    }
+    EXPECT_EQ(p.victim(0, inst(0x999)), 0u);
+    for (std::uint32_t w = 1; w < 4; ++w)
+        EXPECT_EQ(p.rrpvOf(0, w), 3); // Aged 0 -> 3 in one pass.
 }
 
 TEST(Srrip, RrpvLevelsOrdered)
@@ -156,19 +163,26 @@ TEST(Srrip, WiderRrpvRespected)
     EXPECT_EQ(p.intermediate(), 6);
 }
 
+TEST(Srrip, ResetStateClearsRrpvs)
+{
+    SrripPolicy p(geom4w());
+    p.onFill(0, 1, inst(64));
+    EXPECT_EQ(p.rrpvOf(0, 1), 2);
+    p.resetState();
+    EXPECT_EQ(p.rrpvOf(0, 1), 0);
+}
+
 // ----------------------------- BRRIP -------------------------------
 
 TEST(Brrip, MostFillsDistantSomeIntermediate)
 {
     BrripPolicy p(geom4w(), 2, 32);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     int distant = 0, intermediate = 0;
     for (int i = 0; i < 320; ++i) {
-        p.onFill(0, 0, v, inst(0));
-        if (lines[0].rrpv == 3)
+        p.onFill(0, 0, inst(0));
+        if (p.rrpvOf(0, 0) == 3)
             ++distant;
-        else if (lines[0].rrpv == 2)
+        else if (p.rrpvOf(0, 0) == 2)
             ++intermediate;
     }
     EXPECT_EQ(intermediate, 10); // Exactly 1 in 32.
@@ -239,8 +253,6 @@ TEST(Drrip, LeaderSetsUseOwnPolicy)
 {
     const CacheGeometry g{"t", 64 * 1024, 4, 64}; // 256 sets.
     DrripPolicy p(g);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     // Find an SRRIP leader set and check insertion there is always
     // intermediate.
     std::uint32_t srrip_leader = 0;
@@ -249,8 +261,8 @@ TEST(Drrip, LeaderSetsUseOwnPolicy)
             srrip_leader = s;
     }
     for (int i = 0; i < 64; ++i) {
-        p.onFill(srrip_leader, 0, v, inst(0));
-        EXPECT_EQ(lines[0].rrpv, 2);
+        p.onFill(srrip_leader, 0, inst(0));
+        EXPECT_EQ(p.rrpvOf(srrip_leader, 0), 2);
     }
 }
 
@@ -258,8 +270,6 @@ TEST(Drrip, PrefetchMissesDoNotTrainDuel)
 {
     const CacheGeometry g{"t", 64 * 1024, 4, 64};
     DrripPolicy p(g);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     std::uint32_t leader0 = 0;
     for (std::uint32_t s = 0; s < 256; ++s) {
         if (p.dueling().leaderOf(s) == 0)
@@ -268,9 +278,9 @@ TEST(Drrip, PrefetchMissesDoNotTrainDuel)
     const auto before = p.dueling().pselValue();
     MemRequest pf = inst(0x40);
     pf.type = AccessType::InstPrefetch;
-    p.victim(leader0, v, pf);
+    p.victim(leader0, pf);
     EXPECT_EQ(p.dueling().pselValue(), before);
-    p.victim(leader0, v, inst(0x40));
+    p.victim(leader0, inst(0x40));
     EXPECT_EQ(p.dueling().pselValue(), before + 1);
 }
 
@@ -279,46 +289,43 @@ TEST(Drrip, PrefetchMissesDoNotTrainDuel)
 TEST(Ship, DeadSignatureInsertsDistant)
 {
     ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     const Addr pc = 0x4000;
 
-    // Train the signature dead: fill + evict without reuse, twice
-    // (counter starts at 1).
+    // Train the signature dead: fill + evict without reuse (counter
+    // starts at 1, one decrement zeroes it).
     MemRequest r = inst(0x100);
     r.pc = pc;
-    p.onFill(0, 0, v, r);
-    lines[0].isInst = true; // Cache::fill sets this in the real flow.
-    p.onEvict(0, 0, lines[0]);
-    p.onFill(0, 0, v, r);
-    EXPECT_EQ(lines[0].rrpv, 3); // Now predicted dead on arrival.
+    p.onFill(0, 0, r);
+    p.onEvict(0, 0);
+    p.onFill(0, 0, r);
+    EXPECT_EQ(p.rrpvOf(0, 0), 3); // Now predicted dead on arrival.
 }
 
 TEST(Ship, ReusedSignatureInsertsIntermediate)
 {
     ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     MemRequest r = inst(0x100);
     r.pc = 0x4000;
-    p.onFill(0, 0, v, r);
-    lines[0].isInst = true; // Cache::fill sets this in the real flow.
-    p.onHit(0, 0, v, r); // Outcome bit set, SHCT incremented.
-    p.onEvict(0, 0, lines[0]);
-    p.onFill(0, 0, v, r);
-    EXPECT_EQ(lines[0].rrpv, 2);
+    p.onFill(0, 0, r);
+    p.onHit(0, 0, r); // Outcome bit set, SHCT incremented.
+    p.onEvict(0, 0);
+    p.onFill(0, 0, r);
+    EXPECT_EQ(p.rrpvOf(0, 0), 2);
 }
 
 TEST(Ship, DataLinesFollowSrrip)
 {
     ShipPolicy p(geom4w(), 2, 10); // 1024-entry SHCT.
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    p.onFill(0, 0, v, load(0x100));
-    EXPECT_EQ(lines[0].rrpv, 2);
-    lines[0].rrpv = 3;
-    p.onHit(0, 0, v, load(0x100));
-    EXPECT_EQ(lines[0].rrpv, 0);
+    p.onFill(0, 0, load(0x100));
+    EXPECT_EQ(p.rrpvOf(0, 0), 2);
+    p.onHit(0, 0, load(0x100));
+    EXPECT_EQ(p.rrpvOf(0, 0), 0);
+    // Evicting a data line never trains the SHCT: refilling the same
+    // PC as an instruction still inserts at Intermediate.
+    p.onEvict(0, 0);
+    MemRequest r = inst(0x100);
+    p.onFill(0, 0, r);
+    EXPECT_EQ(p.rrpvOf(0, 0), 2);
 }
 
 TEST(Ship, SignatureIsStablePerPc)
@@ -333,22 +340,18 @@ TEST(Ship, SignatureIsStablePerPc)
 TEST(Clip, InstructionFillsImmediate)
 {
     ClipPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    p.onFill(0, 0, v, inst(0x100));
-    EXPECT_EQ(lines[0].rrpv, 0);
-    p.onFill(0, 1, v, load(0x200));
-    EXPECT_EQ(lines[1].rrpv, 2);
+    p.onFill(0, 0, inst(0x100));
+    EXPECT_EQ(p.rrpvOf(0, 0), 0);
+    p.onFill(0, 1, load(0x200));
+    EXPECT_EQ(p.rrpvOf(0, 1), 2);
 }
 
 TEST(Clip, InstructionHitsAlwaysImmediate)
 {
     ClipPolicy p(geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
-    lines[0].rrpv = 3;
-    p.onHit(0, 0, v, inst(0x100));
-    EXPECT_EQ(lines[0].rrpv, 0);
+    p.onFill(0, 0, load(0x100)); // rrpv = 2.
+    p.onHit(0, 0, inst(0x100));
+    EXPECT_EQ(p.rrpvOf(0, 0), 0);
 }
 
 // ---------------------------- Emissary -----------------------------
@@ -356,12 +359,11 @@ TEST(Clip, InstructionHitsAlwaysImmediate)
 TEST(Emissary, PriorityLinesProtectedFromEviction)
 {
     EmissaryPolicy p(geom4w(), 2, 1.0);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     for (std::uint32_t w = 0; w < 4; ++w)
-        p.onFill(0, w, v, inst(w * 64));
-    lines[0].priority = true; // Oldest line, but priority.
-    const auto victim = p.victim(0, v, inst(0x999));
+        p.onFill(0, w, inst(w * 64));
+    p.onPriorityHint(0, 0); // Oldest line, but priority.
+    ASSERT_TRUE(p.priorityOf(0, 0));
+    const auto victim = p.victim(0, inst(0x999));
     EXPECT_NE(victim, 0u);
     EXPECT_EQ(victim, 1u); // Next oldest non-priority.
 }
@@ -369,30 +371,26 @@ TEST(Emissary, PriorityLinesProtectedFromEviction)
 TEST(Emissary, SaturatedPrioritySetFallsBackToGlobalLru)
 {
     EmissaryPolicy p(geom4w(), 2, 1.0);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     for (std::uint32_t w = 0; w < 4; ++w) {
-        p.onFill(0, w, v, inst(w * 64));
-        lines[w].priority = true;
+        p.onFill(0, w, inst(w * 64));
+        p.onPriorityHint(0, w);
     }
     // More priority lines than priority ways: plain LRU.
-    EXPECT_EQ(p.victim(0, v, inst(0x999)), 0u);
+    EXPECT_EQ(p.victim(0, inst(0x999)), 0u);
 }
 
 TEST(Emissary, FillWithHintSetsPriority)
 {
     EmissaryPolicy p(geom4w(), 4, 1.0);
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     MemRequest r = inst(0x100);
     r.priority = true;
-    p.onFill(0, 0, v, r);
-    EXPECT_TRUE(lines[0].priority);
+    p.onFill(0, 0, r);
+    EXPECT_TRUE(p.priorityOf(0, 0));
     // Data requests never set priority.
     MemRequest d = load(0x200);
     d.priority = true;
-    p.onFill(0, 1, v, d);
-    EXPECT_FALSE(lines[1].priority);
+    p.onFill(0, 1, d);
+    EXPECT_FALSE(p.priorityOf(0, 1));
 }
 
 // ---------------------- Registry and properties ---------------------
@@ -403,6 +401,8 @@ TEST(PolicyRegistryCreation, CreatesEveryEvaluatedPolicy)
         auto p = make(name, geom4w());
         ASSERT_NE(p, nullptr);
         EXPECT_EQ(p->name(), name);
+        EXPECT_NE(p->kind(), PolicyKind::Generic)
+            << name << " must take a specialized cache path";
     }
     EXPECT_NE(make("Random", geom4w()), nullptr);
 }
@@ -480,18 +480,15 @@ TEST_P(PolicyProperty, Deterministic)
 TEST_P(PolicyProperty, VictimAlwaysValidWay)
 {
     auto policy = make(GetParam(), geom4w());
-    auto lines = validSet(4);
-    SetView v(lines.data(), lines.size());
     Rng rng(3);
     for (int i = 0; i < 2000; ++i) {
         MemRequest r = rng.chance(0.5) ? inst(rng.below(1 << 20))
                                        : load(rng.below(1 << 20));
-        const auto way = policy->victim(
-            static_cast<std::uint32_t>(rng.below(16)), v, r);
+        const auto set = static_cast<std::uint32_t>(rng.below(16));
+        const auto way = policy->victim(set, r);
         ASSERT_LT(way, 4u);
-        policy->onEvict(0, way, lines[way]);
-        policy->onFill(0, way, v, r);
-        ASSERT_LE(lines[way].rrpv, 3);
+        policy->onEvict(set, way);
+        policy->onFill(set, way, r);
     }
 }
 
@@ -527,6 +524,385 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         }
         return name;
+    });
+
+// ---------------- SoA vs AoS reference equivalence ------------------
+
+/**
+ * Array-of-structs reference model: one struct per line holding the
+ * union of all policy state, mutated by per-policy logic transcribed
+ * from the paper algorithms (and from the pre-SoA implementations).
+ * The production SoA policies must match it access for access.
+ */
+struct RefLine
+{
+    std::uint64_t stamp = 0;
+    std::uint16_t signature = 0;
+    std::uint8_t rrpv = 0;
+    bool valid = false;
+    bool isInst = false;
+    bool outcome = false;
+    bool priority = false;
+};
+
+enum class RefFamily { Lru, Random, Srrip, Brrip, Drrip, Ship, Clip,
+                       Emissary, Trrip1, Trrip2 };
+
+/** AoS reimplementation of every policy family over RefLine. */
+class RefPolicy
+{
+  public:
+    RefPolicy(RefFamily family, const CacheGeometry &geom) :
+        family_(family), ways_(geom.assoc),
+        lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc),
+        dueling_(geom.numSets(), 32, 10),
+        shct_(1u << 10, SatCounter(2, 1)),
+        randomRng_(0xdecafbadull), emissaryRng_(0xe1155a47ull)
+    {}
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way, const MemRequest &req)
+    {
+        RefLine &l = lines_[idx(set, way)];
+        switch (family_) {
+          case RefFamily::Lru:
+            l.stamp = ++tick_;
+            break;
+          case RefFamily::Random:
+            break;
+          case RefFamily::Emissary:
+            l.stamp = ++tick_;
+            if (req.priority && req.isInst() && !l.priority)
+                l.priority = emissaryRng_.chance(0.5);
+            break;
+          case RefFamily::Srrip:
+          case RefFamily::Brrip:
+          case RefFamily::Drrip:
+            l.rrpv = 0;
+            break;
+          case RefFamily::Ship:
+            l.rrpv = 0;
+            if (l.isInst && !req.isPrefetch()) {
+                l.outcome = true;
+                shct_[l.signature % shct_.size()].increment();
+            }
+            break;
+          case RefFamily::Clip:
+            if (req.isInst() || dueling_.policyFor(set) == 0)
+                l.rrpv = 0;
+            else if (l.rrpv > 0)
+                --l.rrpv;
+            break;
+          case RefFamily::Trrip1:
+          case RefFamily::Trrip2:
+            if (req.isInst() && hasTemperature(req.temp)) {
+                if (req.temp == Temperature::Hot) {
+                    l.rrpv = 0;
+                    break;
+                }
+                if (family_ == RefFamily::Trrip2) {
+                    if (l.rrpv > 0)
+                        --l.rrpv;
+                    break;
+                }
+            }
+            l.rrpv = 0;
+            break;
+        }
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, const MemRequest &req)
+    {
+        RefLine *set_lines = &lines_[idx(set, 0)];
+        switch (family_) {
+          case RefFamily::Lru:
+            return lruVictim(set_lines);
+          case RefFamily::Random:
+            return static_cast<std::uint32_t>(
+                randomRng_.below(ways_));
+          case RefFamily::Emissary:
+            return emissaryVictim(set_lines);
+          case RefFamily::Drrip:
+          case RefFamily::Clip:
+            if (!req.isPrefetch())
+                dueling_.onMiss(set);
+            return rripVictim(set_lines);
+          default:
+            return rripVictim(set_lines);
+        }
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way, const MemRequest &req)
+    {
+        RefLine &l = lines_[idx(set, way)];
+        // What Cache::fill() used to establish before the policy hook.
+        l.valid = true;
+        l.isInst = req.isInst();
+        l.rrpv = 0;
+        l.stamp = 0;
+        l.signature = 0;
+        l.outcome = false;
+        l.priority = false;
+        switch (family_) {
+          case RefFamily::Lru:
+            l.stamp = ++tick_;
+            break;
+          case RefFamily::Random:
+            break;
+          case RefFamily::Srrip:
+            l.rrpv = 2;
+            break;
+          case RefFamily::Brrip:
+            ++brripFills_;
+            l.rrpv = (brripFills_ % 32 == 0) ? 2 : 3;
+            break;
+          case RefFamily::Drrip:
+            if (dueling_.policyFor(set) == 0) {
+                l.rrpv = 2;
+            } else {
+                ++brripFills_;
+                l.rrpv = (brripFills_ % 32 == 0) ? 2 : 3;
+            }
+            break;
+          case RefFamily::Ship:
+            if (req.isInst()) {
+                l.signature = ShipPolicy::signatureOf(req.pc);
+                l.rrpv = shct_[l.signature % shct_.size()].isZero()
+                             ? 3 : 2;
+            } else {
+                l.rrpv = 2;
+            }
+            break;
+          case RefFamily::Clip:
+            l.rrpv = req.isInst() ? 0 : 2;
+            break;
+          case RefFamily::Emissary:
+            l.stamp = ++tick_;
+            l.priority = req.priority && req.isInst() &&
+                         emissaryRng_.chance(0.5);
+            break;
+          case RefFamily::Trrip1:
+          case RefFamily::Trrip2:
+            if (req.isInst() && hasTemperature(req.temp)) {
+                if (req.temp == Temperature::Hot) {
+                    l.rrpv = 0;
+                    break;
+                }
+                if (family_ == RefFamily::Trrip2 &&
+                    req.temp == Temperature::Warm) {
+                    l.rrpv = 1;
+                    break;
+                }
+            }
+            l.rrpv = 2;
+            break;
+        }
+    }
+
+    void
+    onEvict(std::uint32_t set, std::uint32_t way)
+    {
+        RefLine &l = lines_[idx(set, way)];
+        if (family_ == RefFamily::Ship && l.isInst && !l.outcome)
+            shct_[l.signature % shct_.size()].decrement();
+        l.valid = false;
+    }
+
+  private:
+    std::size_t
+    idx(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+
+    std::uint32_t
+    lruVictim(const RefLine *l) const
+    {
+        std::uint32_t best = 0;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (l[w].stamp < l[best].stamp)
+                best = w;
+        }
+        return best;
+    }
+
+    std::uint32_t
+    rripVictim(RefLine *l)
+    {
+        // Literal form of the RRIP search: re-scan, ageing everyone,
+        // until a Distant line appears (the production code runs the
+        // closed single-pass form -- that is exactly the equivalence
+        // this test pins).
+        for (;;) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                if (l[w].rrpv >= 3)
+                    return w;
+            }
+            for (std::uint32_t w = 0; w < ways_; ++w)
+                ++l[w].rrpv;
+        }
+    }
+
+    std::uint32_t
+    emissaryVictim(const RefLine *l) const
+    {
+        std::uint32_t prio = 0;
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            prio += l[w].priority ? 1 : 0;
+        const bool protect = prio > 0 && prio <= 4;
+        std::uint32_t best = ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (protect && l[w].priority)
+                continue;
+            if (best == ways_ || l[w].stamp < l[best].stamp)
+                best = w;
+        }
+        if (best == ways_)
+            return lruVictim(l);
+        return best;
+    }
+
+    RefFamily family_;
+    std::uint32_t ways_;
+    std::vector<RefLine> lines_;
+    SetDueling dueling_;
+    std::vector<SatCounter> shct_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t brripFills_ = 0;
+    Rng randomRng_;
+    Rng emissaryRng_;
+};
+
+struct RefCase
+{
+    const char *spec;   //!< Production registry spec.
+    RefFamily family;   //!< Reference reimplementation to diff against.
+};
+
+class ReferenceEquivalence : public ::testing::TestWithParam<RefCase>
+{};
+
+/**
+ * The differential driver: a reference tag model (valid + line addr
+ * per way) plus RefPolicy runs next to the production Cache on the
+ * same randomized trace.  Every access must agree on hit/miss, every
+ * eviction on the victim's address, so the SoA port of each policy is
+ * pinned against its AoS reference decision for decision.
+ */
+TEST_P(ReferenceEquivalence, SameHitsAndVictimsOnRandomTrace)
+{
+    const RefCase c = GetParam();
+    const CacheGeometry geom{"ref", 8 * 1024, 4, 64}; // 32 sets.
+    geom.check();
+
+    Cache cache(geom, make(c.spec, geom));
+    RefPolicy ref(c.family, geom);
+
+    // Reference residency model.
+    const std::uint32_t sets = geom.numSets(), ways = geom.assoc;
+    std::vector<Addr> refAddr(static_cast<std::size_t>(sets) * ways, 0);
+    std::vector<std::uint8_t> refValid(refAddr.size(), 0);
+
+    Rng rng(0x5eed);
+    for (int i = 0; i < 60000; ++i) {
+        MemRequest r;
+        const bool is_inst = rng.chance(0.5);
+        r.vaddr = r.paddr = rng.below(64 * 1024);
+        r.pc = r.vaddr;
+        r.type = is_inst ? AccessType::InstFetch : AccessType::Load;
+        if (is_inst && rng.chance(0.6)) {
+            const auto t = rng.below(3);
+            r.temp = t == 0 ? Temperature::Hot
+                            : (t == 1 ? Temperature::Warm
+                                      : Temperature::Cold);
+        }
+        r.priority = rng.chance(0.2);
+
+        const std::uint32_t set = geom.setIndex(r.paddr);
+        const Addr line = geom.lineAddr(r.paddr);
+
+        // Reference lookup.
+        std::uint32_t way = ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const std::size_t j =
+                static_cast<std::size_t>(set) * ways + w;
+            if (refValid[j] && refAddr[j] == line)
+                way = w;
+        }
+        const bool ref_hit = way < ways;
+        const bool hit = cache.access(r);
+        ASSERT_EQ(hit, ref_hit)
+            << c.spec << ": hit/miss diverged at access " << i;
+
+        if (hit) {
+            ref.onHit(set, way, r);
+            continue;
+        }
+
+        // Reference fill: first invalid way, else the policy victim.
+        std::uint32_t fill_way = ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const std::size_t j =
+                static_cast<std::size_t>(set) * ways + w;
+            if (!refValid[j]) {
+                fill_way = w;
+                break;
+            }
+        }
+        std::optional<Addr> ref_evicted;
+        if (fill_way == ways) {
+            fill_way = ref.victim(set, r);
+            ASSERT_LT(fill_way, ways);
+            ref.onEvict(set, fill_way);
+            ref_evicted = refAddr[static_cast<std::size_t>(set) * ways +
+                                  fill_way];
+        }
+        const std::size_t j =
+            static_cast<std::size_t>(set) * ways + fill_way;
+        refAddr[j] = line;
+        refValid[j] = 1;
+        ref.onFill(set, fill_way, r);
+
+        const auto evicted = cache.fill(r);
+        ASSERT_EQ(evicted.has_value(), ref_evicted.has_value())
+            << c.spec << ": eviction presence diverged at access " << i;
+        if (evicted) {
+            ASSERT_EQ(evicted->addr, *ref_evicted)
+                << c.spec << ": victim diverged at access " << i;
+        }
+    }
+    // End state: same resident lines.
+    std::uint64_t ref_resident = 0;
+    for (const auto v : refValid)
+        ref_resident += v;
+    EXPECT_EQ(cache.residentLines(), ref_resident);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ReferenceEquivalence,
+    ::testing::Values(
+        RefCase{"LRU", RefFamily::Lru},
+        RefCase{"Random", RefFamily::Random},
+        RefCase{"SRRIP", RefFamily::Srrip},
+        RefCase{"BRRIP", RefFamily::Brrip},
+        RefCase{"DRRIP", RefFamily::Drrip},
+        RefCase{"SHiP(shct_bits=10)", RefFamily::Ship},
+        RefCase{"CLIP", RefFamily::Clip},
+        RefCase{"Emissary", RefFamily::Emissary},
+        RefCase{"TRRIP-1", RefFamily::Trrip1},
+        RefCase{"TRRIP-2", RefFamily::Trrip2}),
+    [](const ::testing::TestParamInfo<RefCase> &info) {
+        std::string name = info.param.spec;
+        std::string out;
+        for (char ch : name) {
+            if (std::isalnum(static_cast<unsigned char>(ch)))
+                out += ch;
+            else if (ch == '-' || ch == '(')
+                out += '_';
+        }
+        return out;
     });
 
 } // namespace

@@ -36,7 +36,7 @@ fastOpts()
     return o;
 }
 
-/** @p options with the L2 policy spec set (the old policyMaker path). */
+/** @p options with the L2 policy spec set. */
 SimOptions
 withL2(SimOptions options, const std::string &spec)
 {

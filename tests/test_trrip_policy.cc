@@ -2,7 +2,9 @@
  * @file
  * Unit tests for TrripPolicy: every arm of the paper's Algorithm 1,
  * for both variants, including the "triggers only on instruction
- * requests with valid temperature" rule (paper section 3.4).
+ * requests with valid temperature" rule (paper section 3.4).  The
+ * policy owns its RRPVs in SoA state, so the tests observe decisions
+ * through rrpvOf()/victim() instead of poking CacheLine fields.
  */
 
 #include <gtest/gtest.h>
@@ -39,24 +41,17 @@ dataReq(Addr addr)
     return req;
 }
 
-/** Fixture giving direct access to one set's lines. */
+/** Fixture with both variants on the same small geometry. */
 class TrripPolicyTest : public ::testing::Test
 {
   protected:
     TrripPolicyTest() :
         v1_(smallGeom(), TrripVariant::V1),
         v2_(smallGeom(), TrripVariant::V2)
-    {
-        lines_.resize(4);
-        for (auto &line : lines_)
-            line.valid = true;
-    }
-
-    SetView view() { return SetView(lines_.data(), lines_.size()); }
+    {}
 
     TrripPolicy v1_;
     TrripPolicy v2_;
-    std::vector<CacheLine> lines_;
 };
 
 TEST_F(TrripPolicyTest, Names)
@@ -68,36 +63,36 @@ TEST_F(TrripPolicyTest, Names)
 TEST_F(TrripPolicyTest, HotFillInsertsImmediate)
 {
     // Algorithm 1 lines 16-18.
-    v1_.onFill(0, 0, view(), instReq(0x1000, Temperature::Hot));
-    EXPECT_EQ(lines_[0].rrpv, v1_.immediate());
-    v2_.onFill(0, 1, view(), instReq(0x1000, Temperature::Hot));
-    EXPECT_EQ(lines_[1].rrpv, v2_.immediate());
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::Hot));
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.immediate());
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::Hot));
+    EXPECT_EQ(v2_.rrpvOf(0, 1), v2_.immediate());
 }
 
 TEST_F(TrripPolicyTest, WarmFillVariantDifference)
 {
     // Algorithm 1 lines 19-21: warm insertion at Near is V2 only.
-    v1_.onFill(0, 0, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[0].rrpv, v1_.intermediate());
-    v2_.onFill(0, 1, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[1].rrpv, v2_.near());
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.intermediate());
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v2_.rrpvOf(0, 1), v2_.near());
 }
 
 TEST_F(TrripPolicyTest, ColdFillFollowsDefaultInBothVariants)
 {
     // Cold has no dedicated insertion arm (Algorithm 1 lines 22-24).
-    v1_.onFill(0, 0, view(), instReq(0x1000, Temperature::Cold));
-    EXPECT_EQ(lines_[0].rrpv, v1_.intermediate());
-    v2_.onFill(0, 1, view(), instReq(0x1000, Temperature::Cold));
-    EXPECT_EQ(lines_[1].rrpv, v2_.intermediate());
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::Cold));
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.intermediate());
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::Cold));
+    EXPECT_EQ(v2_.rrpvOf(0, 1), v2_.intermediate());
 }
 
 TEST_F(TrripPolicyTest, UntaggedInstFillFollowsDefault)
 {
-    v1_.onFill(0, 0, view(), instReq(0x1000, Temperature::None));
-    EXPECT_EQ(lines_[0].rrpv, v1_.intermediate());
-    v2_.onFill(0, 1, view(), instReq(0x1000, Temperature::None));
-    EXPECT_EQ(lines_[1].rrpv, v2_.intermediate());
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::None));
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.intermediate());
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::None));
+    EXPECT_EQ(v2_.rrpvOf(0, 1), v2_.intermediate());
 }
 
 TEST_F(TrripPolicyTest, DataFillFollowsDefaultEvenIfTempSet)
@@ -105,84 +100,86 @@ TEST_F(TrripPolicyTest, DataFillFollowsDefaultEvenIfTempSet)
     // Data requests never trigger TRRIP arms, whatever temp claims.
     MemRequest req = dataReq(0x1000);
     req.temp = Temperature::Hot;
-    v2_.onFill(0, 0, view(), req);
-    EXPECT_EQ(lines_[0].rrpv, v2_.intermediate());
+    v2_.onFill(0, 0, req);
+    EXPECT_EQ(v2_.rrpvOf(0, 0), v2_.intermediate());
 }
 
 TEST_F(TrripPolicyTest, HotHitPromotesToImmediate)
 {
     // Algorithm 1 lines 3-5.
-    lines_[0].rrpv = 3;
-    v1_.onHit(0, 0, view(), instReq(0x1000, Temperature::Hot));
-    EXPECT_EQ(lines_[0].rrpv, v1_.immediate());
-    lines_[1].rrpv = 3;
-    v2_.onHit(0, 1, view(), instReq(0x1000, Temperature::Hot));
-    EXPECT_EQ(lines_[1].rrpv, v2_.immediate());
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::None)); // 2.
+    v1_.onHit(0, 0, instReq(0x1000, Temperature::Hot));
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.immediate());
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::None));
+    v2_.onHit(0, 1, instReq(0x1000, Temperature::Hot));
+    EXPECT_EQ(v2_.rrpvOf(0, 1), v2_.immediate());
 }
 
 TEST_F(TrripPolicyTest, WarmHitDecrementsOnlyInV2)
 {
     // Algorithm 1 lines 6-8: RRPV = max(RRPV - 1, immediate).
-    lines_[0].rrpv = 3;
-    v2_.onHit(0, 0, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[0].rrpv, 2);
-    v2_.onHit(0, 0, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[0].rrpv, 1);
+    v2_.onFill(0, 0, instReq(0x1000, Temperature::None)); // 2.
+    v2_.onHit(0, 0, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 1);
+    v2_.onHit(0, 0, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 0);
     // In V1 the warm hit takes the default arm: straight to 0.
-    lines_[1].rrpv = 3;
-    v1_.onHit(0, 1, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[1].rrpv, 0);
+    v1_.onFill(0, 1, instReq(0x1000, Temperature::None)); // 2.
+    v1_.onHit(0, 1, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v1_.rrpvOf(0, 1), 0);
 }
 
 TEST_F(TrripPolicyTest, ColdHitDecrementsOnlyInV2)
 {
-    lines_[0].rrpv = 2;
-    v2_.onHit(0, 0, view(), instReq(0x1000, Temperature::Cold));
-    EXPECT_EQ(lines_[0].rrpv, 1);
-    lines_[1].rrpv = 2;
-    v1_.onHit(0, 1, view(), instReq(0x1000, Temperature::Cold));
-    EXPECT_EQ(lines_[1].rrpv, 0);
+    v2_.onFill(0, 0, instReq(0x1000, Temperature::None)); // 2.
+    v2_.onHit(0, 0, instReq(0x1000, Temperature::Cold));
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 1);
+    v1_.onFill(0, 1, instReq(0x1000, Temperature::None)); // 2.
+    v1_.onHit(0, 1, instReq(0x1000, Temperature::Cold));
+    EXPECT_EQ(v1_.rrpvOf(0, 1), 0);
 }
 
 TEST_F(TrripPolicyTest, WarmHitDecrementClampsAtImmediate)
 {
-    lines_[0].rrpv = 0;
-    v2_.onHit(0, 0, view(), instReq(0x1000, Temperature::Warm));
-    EXPECT_EQ(lines_[0].rrpv, 0);
+    v2_.onFill(0, 0, instReq(0x1000, Temperature::Hot)); // 0.
+    v2_.onHit(0, 0, instReq(0x1000, Temperature::Warm));
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 0);
 }
 
 TEST_F(TrripPolicyTest, DataHitPromotesToImmediate)
 {
     // Default RRIP behavior (Algorithm 1 lines 9-11).
-    lines_[0].rrpv = 3;
-    v2_.onHit(0, 0, view(), dataReq(0x1000));
-    EXPECT_EQ(lines_[0].rrpv, 0);
+    v2_.onFill(0, 0, dataReq(0x1000)); // 2.
+    v2_.onHit(0, 0, dataReq(0x1000));
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 0);
 }
 
 TEST_F(TrripPolicyTest, EvictionMechanismUnchangedFromRrip)
 {
     // Algorithm 1 line 14: the aging search is untouched RRIP.
-    lines_[0].rrpv = 0;
-    lines_[1].rrpv = 1;
-    lines_[2].rrpv = 2;
-    lines_[3].rrpv = 2;
+    // Build RRPVs {0, 1, 2, 2}: hot fill, V2 warm-fill, two None
+    // fills.
+    v2_.onFill(0, 0, instReq(0x1000, Temperature::Hot));  // 0.
+    v2_.onFill(0, 1, instReq(0x1000, Temperature::Warm)); // 1.
+    v2_.onFill(0, 2, instReq(0x1000, Temperature::None)); // 2.
+    v2_.onFill(0, 3, instReq(0x1000, Temperature::None)); // 2.
     const auto way =
-        v1_.victim(0, view(), instReq(0x2000, Temperature::Hot));
+        v2_.victim(0, instReq(0x2000, Temperature::Hot));
     // Aging raises everyone by 1 until a 3 appears: way 2 first.
     EXPECT_EQ(way, 2u);
-    EXPECT_EQ(lines_[0].rrpv, 1);
-    EXPECT_EQ(lines_[1].rrpv, 2);
+    EXPECT_EQ(v2_.rrpvOf(0, 0), 1);
+    EXPECT_EQ(v2_.rrpvOf(0, 1), 2);
 }
 
 TEST_F(TrripPolicyTest, VictimPrefersDistantOverHotProtected)
 {
     // A hot line at Immediate outlives non-hot lines at Intermediate.
-    lines_[0].rrpv = 0; // hot
-    lines_[1].rrpv = 2;
-    lines_[2].rrpv = 2;
-    lines_[3].rrpv = 2;
+    v1_.onFill(0, 0, instReq(0x1000, Temperature::Hot));  // 0 (hot).
+    v1_.onFill(0, 1, instReq(0x1000, Temperature::None)); // 2.
+    v1_.onFill(0, 2, instReq(0x1000, Temperature::None)); // 2.
+    v1_.onFill(0, 3, instReq(0x1000, Temperature::None)); // 2.
     const auto way =
-        v1_.victim(0, view(), instReq(0x2000, Temperature::None));
+        v1_.victim(0, instReq(0x2000, Temperature::None));
     EXPECT_NE(way, 0u);
 }
 
@@ -192,8 +189,8 @@ TEST_F(TrripPolicyTest, InstPrefetchWithTempTriggersTrrip)
     // accesses, so they participate in TRRIP insertion.
     MemRequest req = instReq(0x1000, Temperature::Hot);
     req.type = AccessType::InstPrefetch;
-    v1_.onFill(0, 0, view(), req);
-    EXPECT_EQ(lines_[0].rrpv, v1_.immediate());
+    v1_.onFill(0, 0, req);
+    EXPECT_EQ(v1_.rrpvOf(0, 0), v1_.immediate());
 }
 
 /** End-to-end through Cache: hot lines survive non-hot pressure. */

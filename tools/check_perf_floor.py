@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Fail when the throughput sidecar's total Minstr/s is below a floor.
+
+Usage: check_perf_floor.py PERF_throughput.json FLOOR
+
+Reads the ``total.minstr_per_sec`` field of the PERF sidecar written
+by ``bench/throughput`` and exits non-zero when it is below FLOOR.
+Used by the release-perf CI job as a coarse perf-regression tripwire:
+the floor must sit well below the measured baseline for the runner
+class, because short-budget CI runs on shared runners are noisy.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, floor_text = sys.argv[1], sys.argv[2]
+    floor = float(floor_text)
+    with open(path, encoding="utf-8") as f:
+        sidecar = json.load(f)
+    total = sidecar["total"]["minstr_per_sec"]
+    print(f"total simulated throughput: {total:.2f} Minstr/s "
+          f"(floor {floor:.2f})")
+    if total < floor:
+        print(f"FAIL: {total:.2f} Minstr/s is below the "
+              f"{floor:.2f} Minstr/s floor -- the engine got slower; "
+              "find the regression instead of lowering the floor.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
