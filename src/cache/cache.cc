@@ -78,7 +78,7 @@ Cache::dispatch(Fn &&fn)
 }
 
 template <class Policy>
-bool
+Cache::Probe
 Cache::accessWith(Policy &pol, const MemRequest &req,
                   bool mark_dirty_on_write_hit)
 {
@@ -97,11 +97,17 @@ Cache::accessWith(Policy &pol, const MemRequest &req,
                   static_cast<std::uint32_t>(way)] |= kLineMetaDirty;
         }
     }
-    return hit;
+    return Probe{hit, set, hit ? static_cast<std::uint32_t>(way) : 0};
 }
 
 bool
 Cache::access(const MemRequest &req, bool mark_dirty_on_write_hit)
+{
+    return accessProbe(req, mark_dirty_on_write_hit).hit;
+}
+
+Cache::Probe
+Cache::accessProbe(const MemRequest &req, bool mark_dirty_on_write_hit)
 {
     return dispatch([&](auto &pol) {
         return accessWith(pol, req, mark_dirty_on_write_hit);
@@ -183,8 +189,9 @@ Cache::markPriority(Addr paddr)
 }
 
 template <class Policy>
-std::optional<CacheLine>
-Cache::fillWith(Policy &pol, const MemRequest &req)
+Cache::Victim
+Cache::fillWith(Policy &pol, const MemRequest &req,
+                std::uint8_t extra_meta)
 {
     const std::uint32_t set = setOf(req.paddr);
     const Addr tag = tagOf(req.paddr);
@@ -197,7 +204,7 @@ Cache::fillWith(Policy &pol, const MemRequest &req)
     const std::size_t base = static_cast<std::size_t>(set) * assoc_;
 
     std::uint32_t way;
-    std::optional<CacheLine> evicted;
+    Victim evicted;
     if (freeWays_[set] > 0) {
         // First invalid way, in way order (one bit test per word).
         way = 0;
@@ -218,14 +225,18 @@ Cache::fillWith(Policy &pol, const MemRequest &req)
             ++stats_.dataEvictions;
         if (vmeta & kLineMetaDirty)
             ++stats_.writebacks;
-        evicted = materialize(set, base + way);
+        evicted.valid = true;
+        evicted.addr = ((tags_[base + way] >> 1) << tagShift_) |
+                       (static_cast<Addr>(set) << lineShift_);
+        evicted.meta = vmeta;
     }
 
     // The policy re-initializes its own per-way state in onFill().
     tags_[base + way] = (tag << 1) | 1;
     meta_[base + way] =
         packLineMeta(req.isWrite(), req.isInst(),
-                     req.isInst() ? req.temp : Temperature::None);
+                     req.isInst() ? req.temp : Temperature::None) |
+        extra_meta;
 
     ++stats_.fills;
     if (req.isPrefetch())
@@ -234,10 +245,28 @@ Cache::fillWith(Policy &pol, const MemRequest &req)
     return evicted;
 }
 
+Cache::Victim
+Cache::fillProbe(const MemRequest &req, std::uint8_t extra_meta)
+{
+    return dispatch(
+        [&](auto &pol) { return fillWith(pol, req, extra_meta); });
+}
+
 std::optional<CacheLine>
 Cache::fill(const MemRequest &req)
 {
-    return dispatch([&](auto &pol) { return fillWith(pol, req); });
+    const Victim v = fillProbe(req, 0);
+    if (!v.valid)
+        return std::nullopt;
+    CacheLine line;
+    line.addr = v.addr;
+    line.tag = v.addr >> tagShift_;
+    line.temp = decodeTemperature(
+        static_cast<std::uint8_t>(v.meta >> kLineMetaTempShift));
+    line.valid = true;
+    line.dirty = (v.meta & kLineMetaDirty) != 0;
+    line.isInst = (v.meta & kLineMetaInst) != 0;
+    return line;
 }
 
 std::optional<CacheLine>

@@ -84,6 +84,32 @@ class Cache
     const CacheStats &stats() const { return stats_; }
 
     /**
+     * Result of one access probe: hit plus the (set, way) the probe
+     * bound, so the caller can follow up on the same slot (metadata
+     * stamps, priority hints) without re-walking the tags.
+     */
+    struct Probe
+    {
+        bool hit = false;
+        std::uint32_t set = 0;
+        std::uint32_t way = 0;
+    };
+
+    /**
+     * Raw view of a line displaced by fill(): the full line address
+     * plus the packed kLineMeta* byte (dirty/isInst/temperature and
+     * the hierarchy's residency hints).  The eviction-cascade form of
+     * the eviction result -- no CacheLine materialization on the hot
+     * path.
+     */
+    struct Victim
+    {
+        bool valid = false;
+        Addr addr = 0;
+        std::uint8_t meta = 0;
+    };
+
+    /**
      * Look up @p req; on hit run the policy hit handler and return
      * true.  Never fills.  Demand accesses update the counters.
      * @p mark_dirty_on_write_hit folds the store-hit markDirty()
@@ -91,6 +117,25 @@ class Cache
      */
     bool access(const MemRequest &req,
                 bool mark_dirty_on_write_hit = false);
+
+    /**
+     * access() that also reports which (set, way) hit, so the caller
+     * can reuse the bound slot.  Identical stats and policy effects.
+     */
+    Probe accessProbe(const MemRequest &req,
+                      bool mark_dirty_on_write_hit = false);
+
+    /**
+     * OR @p bits into the packed metadata byte of (set, way) -- the
+     * follow-up write on a slot bound by accessProbe()/fillProbe()
+     * (the hierarchy's residency hints).  No tag walk, no policy
+     * effect.
+     */
+    void
+    orMeta(std::uint32_t set, std::uint32_t way, std::uint8_t bits)
+    {
+        meta_[static_cast<std::size_t>(set) * assoc_ + way] |= bits;
+    }
 
     /**
      * access() immediately followed by invalidate() of the hit line,
@@ -131,6 +176,16 @@ class Cache
      * @return The evicted line if a valid line was displaced.
      */
     std::optional<CacheLine> fill(const MemRequest &req);
+
+    /**
+     * fill() in the fused eviction-cascade form: the new line's
+     * metadata is OR-ed with @p extra_meta (residency hints stamped
+     * in the same probe that installs the line), and the displaced
+     * line comes back as a raw Victim -- address plus packed meta --
+     * so the cascade can reuse the already-computed identity of the
+     * evicted line without materializing a CacheLine.
+     */
+    Victim fillProbe(const MemRequest &req, std::uint8_t extra_meta);
 
     /**
      * Remove the line holding @p paddr (inclusive back-invalidation).
@@ -210,13 +265,13 @@ class Cache
      */
     /** @{ */
     template <class Policy>
-    bool accessWith(Policy &pol, const MemRequest &req,
-                    bool mark_dirty_on_write_hit);
+    Probe accessWith(Policy &pol, const MemRequest &req,
+                     bool mark_dirty_on_write_hit);
     template <class Policy>
     bool accessInvalidateWith(Policy &pol, const MemRequest &req);
     template <class Policy>
-    std::optional<CacheLine> fillWith(Policy &pol,
-                                      const MemRequest &req);
+    Victim fillWith(Policy &pol, const MemRequest &req,
+                    std::uint8_t extra_meta);
     template <class Fn>
     decltype(auto) dispatch(Fn &&fn);
     /** @} */

@@ -1,25 +1,10 @@
 #include "cache/hierarchy.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace trrip {
-
-namespace {
-
-/** Build a synthetic request to re-insert an evicted line downstream. */
-MemRequest
-requestFor(const CacheLine &line)
-{
-    MemRequest req;
-    req.vaddr = line.addr;
-    req.paddr = line.addr;
-    req.pc = 0;
-    req.type = line.isInst ? AccessType::InstFetch : AccessType::Load;
-    req.temp = line.temp;
-    return req;
-}
-
-} // namespace
 
 CacheHierarchy::CacheHierarchy(const HierarchyParams &params) :
     CacheHierarchy(params, PolicyRegistry::instance().instantiate(
@@ -91,12 +76,35 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
     if (l2Observer_ && !req.isPrefetch())
         l2Observer_->onL2Access(req);
 
-    // Completed prefetches become real L2 content before the lookup.
-    materializePrefetch(line, now, req);
+    // ONE in-flight probe per access.  The slot handle is stable
+    // across the L2 lookup (tombstone erasure, no inserts in
+    // between), so it serves both the materialize-completed check
+    // here and the late-merge check after an L2 miss -- the two
+    // separate probes of the pre-fusion hierarchy.
+    std::size_t slot = inflight_.findSlot(line);
+    if (slot != FlatMap<Inflight>::npos &&
+        inflight_.slotValue(slot).ready <= now) {
+        // Completed prefetch becomes real L2 content before the
+        // lookup; any SLC copy moves up (exclusive), no DRAM charge.
+        inflight_.eraseSlot(slot);
+        slot = FlatMap<Inflight>::npos;
+        ++pfStats_.covered;
+        slc_.invalidate(line);
+        MemRequest fill = req;
+        fill.vaddr = fill.paddr = line;
+        fill.type = req.isInst() ? AccessType::InstPrefetch
+                                 : AccessType::DataPrefetch;
+        fillL2(fill, now, 0);
+    }
 
     Cache &l1 = is_inst ? l1i_ : l1d_;
+    const std::uint8_t l1bit = is_inst ? kLineMetaInL1I
+                                       : kLineMetaInL1D;
 
-    if (l2_.access(req)) {
+    if (const Cache::Probe probe = l2_.accessProbe(req); probe.hit) {
+        // The line is about to enter an L1: stamp the residency hint
+        // on the slot the probe already bound.
+        l2_.orMeta(probe.set, probe.way, l1bit);
         out.servedBy = ServedBy::L2;
         out.latency = params_.l2TagLat + params_.l2DataLat;
         fillL1(l1, req);
@@ -106,8 +114,7 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
     out.l2DemandMiss = !req.isPrefetch();
 
     // A late prefetch merges the demand into the outstanding fill.
-    if (const std::size_t slot = inflight_.findSlot(line);
-        slot != FlatMap<Inflight>::npos) {
+    if (slot != FlatMap<Inflight>::npos) {
         const Cycles ready = inflight_.slotValue(slot).ready;
         out.servedBy = ServedBy::Inflight;
         // Fill-and-forward: the demand waits out the remaining fill
@@ -118,7 +125,7 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
         // Data arrives via the prefetch; consume any SLC copy and
         // install without charging DRAM again.
         slc_.invalidate(line);
-        fillL2(req, now);
+        fillL2(req, now, l1bit);
         fillL1(l1, req);
         return out;
     }
@@ -146,14 +153,14 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
         out.servedBy = ServedBy::Slc;
         out.latency = params_.l2TagLat + params_.slcTagLat +
                       params_.slcDataLat;
-        fillL2(req, now);
+        fillL2(req, now, l1bit);
         fillL1(l1, req);
         return out;
     }
 
     out.servedBy = ServedBy::Dram;
     out.latency = params_.l2TagLat + params_.slcTagLat + dram_.read(now);
-    fillL2(req, now);
+    fillL2(req, now, l1bit);
     fillL1(l1, req);
     return out;
 }
@@ -190,26 +197,6 @@ CacheHierarchy::issuePrefetch(const MemRequest &req, Cycles now)
 }
 
 void
-CacheHierarchy::materializePrefetch(Addr line, Cycles now,
-                                    const MemRequest &demand)
-{
-    const std::size_t slot = inflight_.findSlot(line);
-    if (slot == FlatMap<Inflight>::npos ||
-        inflight_.slotValue(slot).ready > now) {
-        return;
-    }
-    inflight_.eraseSlot(slot);
-    ++pfStats_.covered;
-    // The prefetched data displaces any SLC copy (exclusive move).
-    slc_.invalidate(line);
-    MemRequest fill = demand;
-    fill.vaddr = fill.paddr = line;
-    fill.type = demand.isInst() ? AccessType::InstPrefetch
-                                : AccessType::DataPrefetch;
-    fillL2(fill, now);
-}
-
-void
 CacheHierarchy::pruneInflight(Cycles now)
 {
     // Called after the insert, so "more than threshold entries" is
@@ -225,52 +212,67 @@ CacheHierarchy::pruneInflight(Cycles now)
 }
 
 void
-CacheHierarchy::fillL2(const MemRequest &req, Cycles now)
+CacheHierarchy::fillL2(const MemRequest &req, Cycles now,
+                       std::uint8_t l1_residency)
 {
-    auto evicted = l2_.fill(req);
-    if (!evicted)
+    const Cache::Victim victim = l2_.fillProbe(req, l1_residency);
+    if (!victim.valid)
         return;
 
-    CacheLine victim = *evicted;
+    bool dirty = (victim.meta & kLineMetaDirty) != 0;
     if (params_.l2Inclusive) {
-        // Back-invalidate the L1s; a dirty L1D copy folds its data
-        // into the victim on the way out.
-        l1i_.invalidate(victim.addr);
-        if (auto l1line = l1d_.invalidate(victim.addr);
-            l1line && l1line->dirty) {
-            victim.dirty = true;
+        // Back-invalidate only the L1s whose residency bit is set on
+        // the victim (a clear bit proves absence; a stale set bit
+        // costs the same no-op probe as the unconditional pre-fusion
+        // walk).  A dirty L1D copy folds its data into the victim on
+        // the way out.
+        if (victim.meta & kLineMetaInL1I)
+            l1i_.invalidate(victim.addr);
+        if (victim.meta & kLineMetaInL1D) {
+            if (auto l1line = l1d_.invalidate(victim.addr);
+                l1line && l1line->dirty) {
+                dirty = true;
+            }
         }
     }
-    victimToSlc(victim, now);
+    victimToSlc(victim.addr, dirty, victim.meta, now);
 }
 
 void
-CacheHierarchy::victimToSlc(const CacheLine &line, Cycles now)
+CacheHierarchy::victimToSlc(Addr addr, bool dirty, std::uint8_t meta,
+                            Cycles now)
 {
     if (!params_.slcExclusive) {
         // One probe: a dirty victim merges into a present copy via
         // markDirty (which reports presence); a clean one only needs
         // the presence check.
-        const bool present = line.dirty ? slc_.markDirty(line.addr)
-                                        : slc_.contains(line.addr);
+        const bool present = dirty ? slc_.markDirty(addr)
+                                   : slc_.contains(addr);
         if (present)
             return;
     }
-    MemRequest req = requestFor(line);
-    if (line.dirty)
-        req.type = AccessType::Store;
-    auto evicted = slc_.fill(req);
-    if (evicted && evicted->dirty)
+    // Synthetic downstream re-insert built straight from the victim's
+    // (addr, meta) identity -- dirty victims write back as stores.
+    MemRequest req;
+    req.vaddr = req.paddr = addr;
+    req.pc = 0;
+    req.type = dirty ? AccessType::Store
+                     : ((meta & kLineMetaInst) ? AccessType::InstFetch
+                                               : AccessType::Load);
+    req.temp = decodeTemperature(
+        static_cast<std::uint8_t>(meta >> kLineMetaTempShift));
+    const Cache::Victim evicted = slc_.fillProbe(req, 0);
+    if (evicted.valid && (evicted.meta & kLineMetaDirty))
         dram_.write(now);
 }
 
 void
 CacheHierarchy::fillL1(Cache &l1, const MemRequest &req)
 {
-    auto evicted = l1.fill(req);
-    if (evicted && evicted->dirty) {
+    const Cache::Victim evicted = l1.fillProbe(req, 0);
+    if (evicted.valid && (evicted.meta & kLineMetaDirty)) {
         // Inclusive L2 still holds the line; just mark it dirty.
-        l2_.markDirty(evicted->addr);
+        l2_.markDirty(evicted.addr);
     }
 }
 
@@ -296,6 +298,17 @@ CacheHierarchy::l2DataMpki(InstCount instructions) const
         return 0.0;
     return static_cast<double>(l2_.stats().dataDemandMisses) * 1000.0 /
            static_cast<double>(instructions);
+}
+
+std::vector<std::pair<Addr, Cycles>>
+CacheHierarchy::inflightSnapshot() const
+{
+    std::vector<std::pair<Addr, Cycles>> entries;
+    inflight_.forEach([&](Addr line, const Inflight &e) {
+        entries.emplace_back(line, e.ready);
+    });
+    std::sort(entries.begin(), entries.end());
+    return entries;
 }
 
 bool

@@ -168,23 +168,37 @@ class CacheHierarchy
     /** Verify the L2-includes-L1 invariant (test hook). */
     bool checkInclusion() const;
 
+    /**
+     * Sorted (line, ready) snapshot of the in-flight prefetch tracker
+     * (test hook for the cascade differential suite).
+     */
+    std::vector<std::pair<Addr, Cycles>> inflightSnapshot() const;
+
   private:
     struct Inflight
     {
         Cycles ready = 0;
     };
 
-    /** Fill L2 (+ optional eviction cascade) for @p req. */
-    void fillL2(const MemRequest &req, Cycles now);
+    /**
+     * Fill L2 for @p req with the fused eviction cascade: the victim
+     * comes back from the same probe that installed the new line
+     * (address + raw meta, no CacheLine materialization), the L1
+     * back-invalidations run only when the victim's residency bits
+     * say a copy can exist, and the surviving victim walks straight
+     * into victimToSlc.  @p l1_residency is OR-ed into the new line's
+     * metadata (kLineMetaInL1I/D) when the caller is about to install
+     * the same line into an L1.
+     */
+    void fillL2(const MemRequest &req, Cycles now,
+                std::uint8_t l1_residency);
     /** Fill an L1 for @p req, handling dirty eviction into L2. */
     void fillL1(Cache &l1, const MemRequest &req);
-    /** Move an evicted L2 line into the exclusive SLC. */
-    void victimToSlc(const CacheLine &line, Cycles now);
+    /** Move an evicted L2 line (address + meta form) into the SLC. */
+    void victimToSlc(Addr addr, bool dirty, std::uint8_t meta,
+                     Cycles now);
     /** Issue one prefetch toward the L2. */
     void issuePrefetch(const MemRequest &req, Cycles now);
-    /** Materialize a completed in-flight prefetch for @p line. */
-    void materializePrefetch(Addr line, Cycles now,
-                             const MemRequest &demand);
     /** Occasional cleanup of expired never-demanded entries. */
     void pruneInflight(Cycles now);
 

@@ -65,6 +65,20 @@ constexpr std::uint8_t kLineMetaDirty = 0x1;
 constexpr std::uint8_t kLineMetaInst = 0x2;
 constexpr unsigned kLineMetaTempShift = 2;
 
+/**
+ * @name Upper-level residency hints (hierarchy-owned, L2 only)
+ * Set on an L2 line when its data enters the L1-I / L1-D, so the
+ * eviction cascade probes only the L1s that can actually hold the
+ * victim.  The bits are conservative: silent L1 evictions never clear
+ * them (a stale set bit costs one no-op probe, exactly the behavior
+ * before the bits existed), but a clear bit proves absence -- every
+ * path that installs a line into an L1 stamps the bit on the L2 copy
+ * in the same probe.  Never reported: CacheLine materialization and
+ * the temperature decode mask them out.
+ */
+constexpr std::uint8_t kLineMetaInL1I = 0x10;
+constexpr std::uint8_t kLineMetaInL1D = 0x20;
+
 constexpr std::uint8_t
 packLineMeta(bool dirty, bool is_inst, Temperature temp)
 {

@@ -1,22 +1,34 @@
 #include "sim/core_model.hh"
 
 #include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
 
 namespace trrip {
 
-CoreModel::CoreModel(Executor &executor, CacheHierarchy &hierarchy,
+CoreModel::CoreModel(BBEventSource &events, CacheHierarchy &hierarchy,
                      Mmu &mmu, BranchUnit &branch,
                      const CoreParams &params,
                      const BackendParams &backend) :
-    executor_(executor), hier_(hierarchy), mmu_(mmu), branch_(branch),
+    events_(events), hier_(hierarchy), mmu_(mmu), branch_(branch),
     params_(params), backend_(backend),
-    window_(params.fdipLookahead + 1),
     lineMask_(~static_cast<Addr>(hierarchy.params().l2.lineBytes - 1)),
     lineBytes_(hierarchy.params().l2.lineBytes),
     backendStallPerInstr_(backend.dependStallPerInstr +
                           backend.issueStallPerInstr +
                           backend.otherStallPerInstr)
 {
+    // Ring capacity: at least one healthy produce batch (~48 events)
+    // beyond the FDIP window, rounded to a power of two so every
+    // index is a masked add.
+    window_ = params_.fdipLookahead + 1;
+    const std::uint32_t cap = std::bit_ceil(
+        std::max<std::uint32_t>(window_ + 48u, 64u));
+    ring_.resize(cap);
+    mask_ = cap - 1;
+    fdipScan_ = params_.fdipEnabled && window_ >= 2;
+
     // The retire cost instrs / dispatchWidth is an FP division on the
     // per-event critical path (it feeds now_); block sizes repeat, so
     // the exact quotients are precomputed for every small size.  The
@@ -25,51 +37,68 @@ CoreModel::CoreModel(Executor &executor, CacheHierarchy &hierarchy,
         retireMemo_[n] =
             static_cast<double>(n) / params_.dispatchWidth;
     }
+
+    // Branch penalty by (mispredicted | redirect << 1); a mispredict
+    // dominates a BTB redirect exactly as the old two-way branch did.
+    const auto mp = static_cast<double>(params_.mispredictPenalty);
+    const auto rd = static_cast<double>(params_.btbRedirectPenalty);
+    branchPenalty_ = {0.0, mp, rd, mp};
 }
 
+template <unsigned Stub>
 void
-CoreModel::refillWindow()
+CoreModel::refill()
 {
-    while (winCount_ < window_.size()) {
-        BBEvent &ev = window_[winIndex(winCount_)];
-        executor_.next(ev);
-        // Query-only misprediction estimate for the FDIP path check.
-        ev.fdipMispredict =
-            ev.hasBranch && branch_.wouldMispredict(ev.branch);
-        if (ev.fdipMispredict)
-            ++windowMispredicts_;
-        ++winCount_;
-    }
-}
-
-void
-CoreModel::fdipPrefetch()
-{
-    if (!params_.fdipEnabled || winCount_ < 2)
+    const auto ahead = static_cast<std::uint32_t>(produced_ - head_);
+    if (ahead >= window_)
         return;
+    const auto n =
+        static_cast<std::uint32_t>(ring_.size()) - ahead;
+    events_.produce(ring_.data(), mask_,
+                    static_cast<std::uint32_t>(produced_) & mask_, n);
+    produced_ += n;
+}
+
+template <unsigned Stub>
+void
+CoreModel::fdipPrefetch(const BBEvent &tail)
+{
     // FDIP runs ahead only while the predicted path is clean: any
     // likely-mispredicted branch in the window stops the run-ahead
     // (the paper's trace-based setup has no wrong-path prefetching).
-    if (windowMispredicts_ > 0)
-        return;
-    const BBEvent &tail = window_[winIndex(winCount_ - 1)];
+    // The caller has already checked windowMispredicts_ == 0.
     const Addr first = tail.vaddr & lineMask_;
     const Addr last = (tail.vaddr + tail.bytes - 1) & lineMask_;
     for (Addr line = first; line <= last; line += lineBytes_) {
-        const MmuResult tr = mmu_.translate(line);
         MemRequest req;
         req.vaddr = line;
-        req.paddr = tr.paddr;
+        req.paddr = line;
         req.pc = line;
         req.type = AccessType::InstPrefetch;
-        req.temp = tr.temp;
-        hier_.instPrefetch(req, static_cast<Cycles>(now_));
+        if constexpr ((Stub & kStubMmu) == 0) {
+            const MmuResult tr = mmu_.translate(line);
+            req.paddr = tr.paddr;
+            req.temp = tr.temp;
+        }
+        if constexpr ((Stub & kStubHier) == 0)
+            hier_.instPrefetch(req, static_cast<Cycles>(now_));
     }
 }
 
+template <unsigned Stub>
 void
 CoreModel::processEvent(const BBEvent &ev)
 {
+    if constexpr ((Stub & kStubExec) != 0) {
+        // Producer-only attribution: count and discard.
+        instructions_ += ev.instrs;
+        return;
+    }
+
+    constexpr bool stub_hier = (Stub & kStubHier) != 0;
+    constexpr bool stub_mmu = (Stub & kStubMmu) != 0;
+    constexpr bool stub_branch = (Stub & kStubBranch) != 0;
+
     // --- Instruction fetch, one access per newly touched line.
     const Addr first = ev.vaddr & lineMask_;
     const Addr last = (ev.vaddr + ev.bytes - 1) & lineMask_;
@@ -78,18 +107,24 @@ CoreModel::processEvent(const BBEvent &ev)
         if (line == lastFetchLine_)
             continue;
         lastFetchLine_ = line;
-        const MmuResult tr = mmu_.translate(line);
-        if (tr.tlbMiss) {
-            td_.other += static_cast<double>(params_.tlbWalkPenalty);
-            now_ += static_cast<double>(params_.tlbWalkPenalty);
-        }
         MemRequest req;
         req.vaddr = line;
-        req.paddr = tr.paddr;
+        req.paddr = line;
         req.pc = line;
         req.type = AccessType::InstFetch;
-        req.temp = tr.temp;
-        fetch_temp = tr.temp;
+        if constexpr (!stub_mmu) {
+            const MmuResult tr = mmu_.translate(line);
+            if (tr.tlbMiss) {
+                td_.other +=
+                    static_cast<double>(params_.tlbWalkPenalty);
+                now_ += static_cast<double>(params_.tlbWalkPenalty);
+            }
+            req.paddr = tr.paddr;
+            req.temp = tr.temp;
+            fetch_temp = tr.temp;
+        }
+        if constexpr (stub_hier)
+            continue;
         const AccessOutcome out =
             hier_.instFetch(req, static_cast<Cycles>(now_));
         const double exposed =
@@ -118,24 +153,26 @@ CoreModel::processEvent(const BBEvent &ev)
     }
 
     // --- Branch resolution.
-    if (ev.hasBranch) {
+    if (!stub_branch && ev.hasBranch) {
         BranchInfo info = ev.branch;
         info.temp = fetch_temp; // PTE hint for the TRRIP-BTB option.
         const BranchOutcome out = branch_.predictAndUpdate(info);
-        if (out.mispredicted) {
-            const auto penalty =
-                static_cast<double>(params_.mispredictPenalty);
-            td_.mispred += penalty;
-            now_ += penalty;
-        } else if (out.btbMiss && ev.branch.taken) {
-            const auto penalty =
-                static_cast<double>(params_.btbRedirectPenalty);
-            td_.mispred += penalty;
-            now_ += penalty;
-        }
+        // Table-indexed penalty: a mispredict dominates a redirect,
+        // and the no-penalty entry adds exactly 0.0.  The buckets are
+        // integer counters, materialized at end of run.
+        const unsigned idx =
+            (out.mispredicted ? 1u : 0u) |
+            ((out.btbMiss && ev.branch.taken) ? 2u : 0u);
+        now_ += branchPenalty_[idx];
+        mispredEvents_ += idx & 1u;
+        redirectEvents_ += idx == 2u ? 1u : 0u;
     }
 
-    // --- Retire plus synthetic backend components.
+    // --- Retire plus synthetic backend components.  The backend
+    // buckets stay in event order: their per-event products round,
+    // so an end-of-run rate * instructions form would drift by ulps
+    // -- visible in the byte-reproducible BENCH files.  Only the
+    // integer-weighted buckets (mispred, see above) hoist exactly.
     const double instrs = static_cast<double>(ev.instrs);
     const double retire = retireCycles(ev.instrs);
     td_.retire += retire;
@@ -147,16 +184,22 @@ CoreModel::processEvent(const BBEvent &ev)
     // --- Data accesses with MLP-aware exposure.
     for (std::uint8_t i = 0; i < ev.numData; ++i) {
         const DataAccessEvent &d = ev.data[i];
-        const MmuResult tr = mmu_.translate(d.vaddr);
-        if (tr.tlbMiss) {
-            td_.other += static_cast<double>(params_.tlbWalkPenalty);
-            now_ += static_cast<double>(params_.tlbWalkPenalty);
-        }
         MemRequest req;
         req.vaddr = d.vaddr;
-        req.paddr = tr.paddr;
+        req.paddr = d.vaddr;
         req.pc = d.pc;
         req.type = d.isStore ? AccessType::Store : AccessType::Load;
+        if constexpr (!stub_mmu) {
+            const MmuResult tr = mmu_.translate(d.vaddr);
+            if (tr.tlbMiss) {
+                td_.other +=
+                    static_cast<double>(params_.tlbWalkPenalty);
+                now_ += static_cast<double>(params_.tlbWalkPenalty);
+            }
+            req.paddr = tr.paddr;
+        }
+        if constexpr (stub_hier)
+            continue;
         const AccessOutcome out =
             hier_.dataAccess(req, static_cast<Cycles>(now_));
         if (out.latency == 0)
@@ -187,20 +230,50 @@ CoreModel::processEvent(const BBEvent &ev)
     instructions_ += ev.instrs;
 }
 
+template <unsigned Stub>
 SimResult
-CoreModel::run(InstCount max_instructions)
+CoreModel::runLoop(InstCount max_instructions)
 {
-    refillWindow();
+    constexpr bool stub_branch =
+        (Stub & (kStubBranch | kStubExec)) != 0;
     while (instructions_ < max_instructions) {
-        fdipPrefetch();
-        const BBEvent &ev = window_[winHead_];
-        if (ev.fdipMispredict)
+        refill<Stub>();
+        if (!stub_branch && fdipScan_) {
+            // Lookahead cursor: stamp fdipMispredict exactly when an
+            // event enters the window, i.e. with the predictor state
+            // the event-at-a-time engine would have sampled.
+            const std::uint64_t visible = head_ + window_;
+            while (scanned_ < visible) {
+                BBEvent &ev = ring_[scanned_ & mask_];
+                ev.fdipMispredict =
+                    ev.hasBranch &&
+                    branch_.wouldMispredict(ev.branch);
+                windowMispredicts_ += ev.fdipMispredict ? 1u : 0u;
+                ++scanned_;
+            }
+            if (windowMispredicts_ == 0) {
+                fdipPrefetch<Stub>(
+                    ring_[(head_ + window_ - 1) & mask_]);
+            }
+        }
+        const BBEvent &ev = ring_[head_ & mask_];
+        if (!stub_branch && fdipScan_ && ev.fdipMispredict)
             --windowMispredicts_;
-        processEvent(ev);
-        winHead_ = winIndex(1);
-        --winCount_;
-        refillWindow();
+        processEvent<Stub>(ev);
+        ++head_;
     }
+
+    // Materialize the hoisted mispredict bucket.  Its per-event
+    // contributions are integer penalties, so every partial sum of
+    // the old accumulation was an exact integer double and
+    // count * penalty reproduces the final value bit for bit -- the
+    // one Top-Down bucket that hoists exactly (the fractional
+    // backend buckets must stay in event order; see processEvent).
+    td_.mispred =
+        static_cast<double>(params_.mispredictPenalty) *
+            static_cast<double>(mispredEvents_) +
+        static_cast<double>(params_.btbRedirectPenalty) *
+            static_cast<double>(redirectEvents_);
 
     SimResult res;
     res.instructions = instructions_;
@@ -218,6 +291,26 @@ CoreModel::run(InstCount max_instructions)
     res.l2HotEvictions = res.l2.evictionsByTemp[encodeTemperature(
         Temperature::Hot)];
     return res;
+}
+
+SimResult
+CoreModel::run(InstCount max_instructions)
+{
+    switch (params_.stubMask) {
+      case kStubNone:
+        return runLoop<kStubNone>(max_instructions);
+      case kStubHier:
+        return runLoop<kStubHier>(max_instructions);
+      case kStubBranch:
+        return runLoop<kStubBranch>(max_instructions);
+      case kStubMmu:
+        return runLoop<kStubMmu>(max_instructions);
+      case kStubExec:
+        return runLoop<kStubExec>(max_instructions);
+      default:
+        panic("unsupported stub mask ", params_.stubMask,
+              " (single kStub* levers only)");
+    }
 }
 
 } // namespace trrip

@@ -15,6 +15,22 @@
  *    (overlapMlp); stores retire through the store buffer;
  *  - branch mispredicts cost a fixed penalty, BTB misses on taken
  *    branches a smaller redirect bubble.
+ *
+ * Event flow is batched (see BBEventSource in workloads/executor.hh):
+ * the source fills a core-owned power-of-two ring tens of events at a
+ * time -- one virtual call per batch -- and the outer loop walks the
+ * ring with masked indices.  A lookahead cursor stamps fdipMispredict
+ * exactly when an event enters the FDIP window, so predictor state is
+ * sampled at the same instant as in the old event-at-a-time engine
+ * and the simulated behavior is bit-identical.  Per-event accounting
+ * is table-indexed where that is provably exact: the branch penalty
+ * feeding the cycle count is a LUT indexed by (mispredict, redirect)
+ * -- the no-penalty entry adds 0.0, which is bit-exact -- and the
+ * mispred Top-Down bucket is reconstructed at end of run from
+ * integer counters (integer-weighted sums reorder exactly).  The
+ * fractional backend buckets stay in event order: reassociating
+ * their sums would drift by ulps, visible in the byte-reproducible
+ * BENCH files.
  */
 
 #ifndef TRRIP_SIM_CORE_MODEL_HH
@@ -31,6 +47,33 @@
 #include "workloads/executor.hh"
 
 namespace trrip {
+
+/**
+ * @name Stub-attribution levers
+ * Bits of CoreParams::stubMask.  Each lever replaces one engine layer
+ * with a no-op so bench/throughput can time the difference and
+ * attribute per-instruction cost to that layer (the ROADMAP budget
+ * table).  Stubbed runs are NOT behavior-preserving -- they exist
+ * only for wall-clock attribution and never feed BENCH files.  The
+ * run loop is instantiated per mask, so the default (zero) hot path
+ * carries no stub checks at all.
+ */
+/** @{ */
+constexpr unsigned kStubNone = 0;
+/** Skip every cache-hierarchy call (fetch/data/prefetch). */
+constexpr unsigned kStubHier = 1;
+/** Skip branch-unit resolution and the FDIP lookahead scan. */
+constexpr unsigned kStubBranch = 2;
+/** Skip MMU translation (paddr = vaddr, no temperature, no walks). */
+constexpr unsigned kStubMmu = 4;
+/**
+ * Producer-only: events are produced normally but consumed by a
+ * no-op core (no lookahead scan, no MMU/branch/hierarchy work, only
+ * instruction counting).  Unlike the other levers, this run's own
+ * ns/instr IS the executor layer's cost.
+ */
+constexpr unsigned kStubExec = 8;
+/** @} */
 
 /** Core model parameters (defaults = paper Table 1). */
 struct CoreParams
@@ -58,6 +101,9 @@ struct CoreParams
      * lone miss drains the fetch/decode queues without starving).
      */
     double starvationBurstWindow = 150.0;
+
+    /** Stub-attribution mask (kStub*); 0 for every real simulation. */
+    unsigned stubMask = kStubNone;
 };
 
 /** Synthetic backend stall components, copied from the workload. */
@@ -95,8 +141,8 @@ struct SimResult
 class CoreModel
 {
   public:
-    CoreModel(Executor &executor, CacheHierarchy &hierarchy, Mmu &mmu,
-              BranchUnit &branch, const CoreParams &params,
+    CoreModel(BBEventSource &events, CacheHierarchy &hierarchy,
+              Mmu &mmu, BranchUnit &branch, const CoreParams &params,
               const BackendParams &backend);
 
     /** Optional costly-miss recorder (paper Fig. 7). */
@@ -107,8 +153,18 @@ class CoreModel
     SimResult run(InstCount max_instructions);
 
   private:
-    void refillWindow();
-    void fdipPrefetch();
+    /** The batched outer loop, instantiated per stub mask. */
+    template <unsigned Stub>
+    SimResult runLoop(InstCount max_instructions);
+
+    /** Top the ring up to full when fewer than a window is ahead. */
+    template <unsigned Stub>
+    void refill();
+
+    template <unsigned Stub>
+    void fdipPrefetch(const BBEvent &tail);
+
+    template <unsigned Stub>
     void processEvent(const BBEvent &ev);
 
     /** Exact instrs / dispatchWidth, memoized for small sizes. */
@@ -120,7 +176,7 @@ class CoreModel
         return static_cast<double>(instrs) / params_.dispatchWidth;
     }
 
-    Executor &executor_;
+    BBEventSource &events_;
     CacheHierarchy &hier_;
     Mmu &mmu_;
     BranchUnit &branch_;
@@ -128,24 +184,25 @@ class CoreModel
     BackendParams backend_;
 
     /**
-     * FDIP lookahead window as a fixed-capacity ring buffer.  BBEvent
-     * is several hundred bytes, so a std::deque would allocate on
-     * every push; the ring reuses fdipLookahead + 1 slots for the
-     * whole run (Executor::next overwrites every live field).
+     * Event ring: power-of-two capacity, at least one whole produce
+     * batch beyond the FDIP window.  head_/scanned_/produced_ are
+     * absolute event counts (index = count & mask_):
+     *   [head_, scanned_)   events inside the FDIP lookahead window
+     *                       (fdipMispredict stamped),
+     *   [scanned_, produced_) produced, not yet visible to FDIP.
+     * BBEvent is several hundred bytes, so the slots are reused for
+     * the whole run; the source overwrites every live field.
      */
-    std::vector<BBEvent> window_;
-    std::size_t winHead_ = 0;
-    std::size_t winCount_ = 0;
+    std::vector<BBEvent> ring_;
+    std::uint32_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t scanned_ = 0;
+    std::uint64_t produced_ = 0;
+    /** FDIP window size in events (fdipLookahead + 1). */
+    std::uint32_t window_ = 0;
     unsigned windowMispredicts_ = 0;
-
-    std::size_t
-    winIndex(std::size_t offset) const
-    {
-        std::size_t i = winHead_ + offset;
-        if (i >= window_.size())
-            i -= window_.size();
-        return i;
-    }
+    /** Lookahead scan enabled (FDIP on and window deep enough). */
+    bool fdipScan_ = false;
 
     /** Cached L2 line mask/size (constants for the whole run). */
     Addr lineMask_ = ~static_cast<Addr>(63);
@@ -155,12 +212,32 @@ class CoreModel
     double backendStallPerInstr_ = 0.0;
     /** instrs / dispatchWidth for instrs in [0, 256). */
     std::array<double, 256> retireMemo_{};
+    /**
+     * Branch penalty by (mispredicted | redirect << 1): {0, P, R, P}.
+     * Indexed per resolved branch; the no-penalty entry adds 0.0,
+     * which leaves the cycle count bit-identical to not adding.
+     */
+    std::array<double, 4> branchPenalty_{};
 
     double now_ = 0.0;
     InstCount instructions_ = 0;
     TopDown td_;
     Addr lastFetchLine_ = ~0ull;
     double missShadowEnd_ = 0.0;
+
+    /**
+     * @name Integer event counters behind the hoisted mispred bucket
+     * The mispredict / redirect Top-Down contributions are integer
+     * multiples of their fixed penalties, so the bucket is
+     * reconstructed exactly at end of run as count * penalty
+     * (integer-valued doubles: no rounding, identical bits to the
+     * old per-event accumulation).  The fractional backend buckets
+     * cannot hoist this way and stay in event order.
+     */
+    /** @{ */
+    std::uint64_t mispredEvents_ = 0;
+    std::uint64_t redirectEvents_ = 0;
+    /** @} */
 
     /** Alternator implementing Emissary's 1/2 marking probability. */
     std::uint64_t starvationEvents_ = 0;

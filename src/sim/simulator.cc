@@ -31,13 +31,20 @@ collectProfile(const SyntheticWorkload &workload,
     exec_opts.handlerZipfSkew = workload.params.trainZipfSkew;
     Executor exec(workload, image, exec_opts);
 
+    // Batched consumption (BBEventSource contract): events beyond the
+    // budget boundary are produced and discarded, which is free --
+    // the executor is a pure generator and this instance dies here.
     Profile profile(workload.program.numBlocks());
-    BBEvent ev;
+    constexpr std::uint32_t kBatch = 64;
+    std::vector<BBEvent> ring(kBatch);
     InstCount done = 0;
     while (done < instructions) {
-        exec.next(ev);
-        profile.record(ev.bb);
-        done += ev.instrs;
+        exec.produce(ring.data(), kBatch - 1, 0, kBatch);
+        for (std::uint32_t i = 0; i < kBatch && done < instructions;
+             ++i) {
+            profile.record(ring[i].bb);
+            done += ring[i].instrs;
+        }
     }
     return profile;
 }

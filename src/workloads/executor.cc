@@ -189,6 +189,17 @@ Executor::setBranch(BBEvent &ev, Addr target, bool conditional,
 }
 
 void
+Executor::produce(BBEvent *ring, std::uint32_t mask,
+                  std::uint32_t pos, std::uint32_t count)
+{
+    // next() is a direct (devirtualized) call here, so the per-event
+    // work is one non-virtual call into the flat-table walk; the ring
+    // indexing is a masked add, no bounds checks.
+    for (std::uint32_t k = 0; k < count; ++k)
+        next(ring[(pos + k) & mask]);
+}
+
+void
 Executor::next(BBEvent &ev)
 {
     Frame &fr = stack_[depth_ - 1];

@@ -67,8 +67,37 @@ struct ExecOptions
     double handlerZipfSkew = 0.8;
 };
 
+/**
+ * Batched event producer -- the contract between the execution engine
+ * and its consumers (CoreModel, profile collection, tests).
+ *
+ * The consumer owns a power-of-two ring of BBEvent slots and asks the
+ * source to fill @p count consecutive slots starting at ring index
+ * @p pos, wrapping with @p mask (slot k of the batch is
+ * ring[(pos + k) & mask]).  The source overwrites every live field of
+ * each slot; @c fdipMispredict is left false -- it belongs to the
+ * consumer (the core's FDIP lookahead scan stamps it when the event
+ * enters the run-ahead window, so predictor state is sampled at the
+ * same point it would be in an event-at-a-time engine).
+ *
+ * One virtual call per *batch* (tens of events), never per event:
+ * event production stays monomorphic inside the source.  Sources must
+ * be pure generators -- their stream may depend only on their own
+ * state, never on consumer state -- so producing events ahead of
+ * consumption is behavior-preserving.
+ */
+class BBEventSource
+{
+  public:
+    virtual ~BBEventSource() = default;
+
+    /** Fill @p count slots of the caller-owned ring (see above). */
+    virtual void produce(BBEvent *ring, std::uint32_t mask,
+                         std::uint32_t pos, std::uint32_t count) = 0;
+};
+
 /** Infinite, deterministic event stream over one workload + layout. */
-class Executor
+class Executor final : public BBEventSource
 {
   public:
     Executor(const SyntheticWorkload &workload, const ElfImage &image,
@@ -76,6 +105,10 @@ class Executor
 
     /** Produce the next event (the stream never ends). */
     void next(BBEvent &ev);
+
+    /** Batched emission into a caller-owned ring (BBEventSource). */
+    void produce(BBEvent *ring, std::uint32_t mask, std::uint32_t pos,
+                 std::uint32_t count) override;
 
     /** Dynamic call-stack depth (test hook). */
     std::size_t stackDepth() const { return depth_; }

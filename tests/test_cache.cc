@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "cache/cache.hh"
 #include "cache/hierarchy.hh"
 #include "cache/prefetcher.hh"
@@ -485,6 +490,473 @@ TEST(Hierarchy, DramResetClearsState)
     EXPECT_EQ(dram.reads(), 0u);
     EXPECT_EQ(dram.writes(), 0u);
     EXPECT_EQ(dram.read(0), 400u);
+}
+
+// ---------- Randomized cascade / prefetch differential suite ----------
+
+/**
+ * Reference reimplementation of the hierarchy's demand, prefetch and
+ * eviction sequencing as separate probe-per-step calls on the public
+ * Cache API -- the pre-fusion CacheHierarchy of PR 3/4 (two flat-map
+ * probes per miss, materialize-then-access, back-invalidate both L1s
+ * on every L2 eviction, optional<CacheLine> victims).  The fused
+ * single-walk cascades in hierarchy.cc must stay behaviorally
+ * identical to this straightforward form on any access stream: same
+ * per-access outcome, same counter totals, same in-flight contents.
+ */
+class ReferenceHierarchy
+{
+  public:
+    explicit ReferenceHierarchy(const HierarchyParams &params) :
+        params_(params),
+        l1i_(params.l1i, params.l1iPolicy),
+        l1d_(params.l1d, params.l1dPolicy),
+        l2_(params.l2, params.l2Policy),
+        slc_(params.slc, params.slcPolicy),
+        dram_(params.dram),
+        l1dStride_(256, params.l1dStrideDegree),
+        l2Stride_(256, params.l2StrideDegree),
+        instNextLine_(params.instNextLineDegree, params.l2.lineBytes)
+    {
+        params_.l1i.check();
+        params_.l1d.check();
+        params_.l2.check();
+        params_.slc.check();
+    }
+
+    AccessOutcome
+    instFetch(const MemRequest &req, Cycles now)
+    {
+        if (l1i_.access(req))
+            return AccessOutcome{};
+        return beyondL1(req, now, true);
+    }
+
+    AccessOutcome
+    dataAccess(const MemRequest &req, Cycles now)
+    {
+        if (l1d_.access(req, /*mark_dirty_on_write_hit=*/true))
+            return AccessOutcome{};
+        if (params_.enablePrefetch && !req.isPrefetch()) {
+            scratch_.clear();
+            l1dStride_.train(req.pc, req.paddr, scratch_);
+            for (Addr a : scratch_) {
+                MemRequest pf = req;
+                pf.vaddr = pf.paddr = a;
+                pf.type = AccessType::DataPrefetch;
+                issuePrefetch(pf, now);
+            }
+        }
+        return beyondL1(req, now, false);
+    }
+
+    void
+    instPrefetch(const MemRequest &req, Cycles now)
+    {
+        issuePrefetch(req, now);
+    }
+
+    void markL2Priority(Addr paddr) { l2_.markPriority(paddr); }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cache &slc() { return slc_; }
+    Dram &dram() { return dram_; }
+    const PrefetchStats &prefetchStats() const { return pfStats_; }
+
+    /** Sorted (line, ready) snapshot of the in-flight tracker. */
+    std::vector<std::pair<Addr, Cycles>>
+    inflightSnapshot() const
+    {
+        std::vector<std::pair<Addr, Cycles>> entries;
+        inflight_.forEach([&](Addr line, const Inflight &e) {
+            entries.emplace_back(line, e.ready);
+        });
+        std::sort(entries.begin(), entries.end());
+        return entries;
+    }
+
+  private:
+    struct Inflight
+    {
+        Cycles ready = 0;
+    };
+
+    AccessOutcome
+    beyondL1(const MemRequest &req, Cycles now, bool is_inst)
+    {
+        const Addr line = params_.l2.lineAddr(req.paddr);
+        AccessOutcome out;
+        out.l1Miss = true;
+
+        materializePrefetch(line, now, req);
+
+        Cache &l1 = is_inst ? l1i_ : l1d_;
+
+        if (l2_.access(req)) {
+            out.servedBy = ServedBy::L2;
+            out.latency = params_.l2TagLat + params_.l2DataLat;
+            fillL1(l1, req);
+            return out;
+        }
+
+        out.l2DemandMiss = !req.isPrefetch();
+
+        if (const Inflight *entry = inflight_.find(line)) {
+            const Cycles ready = entry->ready;
+            out.servedBy = ServedBy::Inflight;
+            out.latency = ready > now ? ready - now
+                                      : params_.l2DataLat;
+            ++pfStats_.late;
+            inflight_.erase(line);
+            slc_.invalidate(line);
+            fillL2(req, now);
+            fillL1(l1, req);
+            return out;
+        }
+
+        if (params_.enablePrefetch && !req.isPrefetch()) {
+            scratch_.clear();
+            if (is_inst)
+                instNextLine_.train(line, scratch_);
+            else
+                l2Stride_.train(req.pc, req.paddr, scratch_);
+            for (Addr a : scratch_) {
+                MemRequest pf = req;
+                pf.vaddr = pf.paddr = a;
+                pf.type = is_inst ? AccessType::InstPrefetch
+                                  : AccessType::DataPrefetch;
+                issuePrefetch(pf, now);
+            }
+        }
+
+        const bool slc_hit = params_.slcExclusive
+                                 ? slc_.accessInvalidate(req)
+                                 : slc_.access(req);
+        if (slc_hit) {
+            out.servedBy = ServedBy::Slc;
+            out.latency = params_.l2TagLat + params_.slcTagLat +
+                          params_.slcDataLat;
+            fillL2(req, now);
+            fillL1(l1, req);
+            return out;
+        }
+
+        out.servedBy = ServedBy::Dram;
+        out.latency =
+            params_.l2TagLat + params_.slcTagLat + dram_.read(now);
+        fillL2(req, now);
+        fillL1(l1, req);
+        return out;
+    }
+
+    void
+    issuePrefetch(const MemRequest &req, Cycles now)
+    {
+        const Addr line = params_.l2.lineAddr(req.paddr);
+        if (l2_.contains(line))
+            return;
+        if (inflight_.contains(line))
+            return;
+        Cycles latency = params_.l2TagLat + params_.slcTagLat;
+        if (slc_.contains(line)) {
+            latency += params_.slcDataLat;
+        } else {
+            latency += dram_.read(now);
+        }
+        inflight_[line].ready = now + latency;
+        ++pfStats_.issued;
+        pruneInflight(now);
+    }
+
+    void
+    materializePrefetch(Addr line, Cycles now, const MemRequest &demand)
+    {
+        const Inflight *entry = inflight_.find(line);
+        if (!entry || entry->ready > now)
+            return;
+        inflight_.erase(line);
+        ++pfStats_.covered;
+        slc_.invalidate(line);
+        MemRequest fill = demand;
+        fill.vaddr = fill.paddr = line;
+        fill.type = demand.isInst() ? AccessType::InstPrefetch
+                                    : AccessType::DataPrefetch;
+        fillL2(fill, now);
+    }
+
+    void
+    pruneInflight(Cycles now)
+    {
+        if (inflight_.size() <= params_.inflightPruneThreshold)
+            return;
+        const Cycles grace = params_.inflightPruneGraceCycles;
+        inflight_.eraseIf([now, grace](Addr, const Inflight &entry) {
+            return entry.ready + grace < now;
+        });
+    }
+
+    void
+    fillL2(const MemRequest &req, Cycles now)
+    {
+        auto evicted = l2_.fill(req);
+        if (!evicted)
+            return;
+        CacheLine victim = *evicted;
+        if (params_.l2Inclusive) {
+            l1i_.invalidate(victim.addr);
+            if (auto l1line = l1d_.invalidate(victim.addr);
+                l1line && l1line->dirty) {
+                victim.dirty = true;
+            }
+        }
+        victimToSlc(victim, now);
+    }
+
+    void
+    victimToSlc(const CacheLine &line, Cycles now)
+    {
+        if (!params_.slcExclusive) {
+            const bool present = line.dirty
+                                     ? slc_.markDirty(line.addr)
+                                     : slc_.contains(line.addr);
+            if (present)
+                return;
+        }
+        MemRequest req;
+        req.vaddr = req.paddr = line.addr;
+        req.pc = 0;
+        req.type = line.isInst ? AccessType::InstFetch
+                               : AccessType::Load;
+        req.temp = line.temp;
+        if (line.dirty)
+            req.type = AccessType::Store;
+        auto evicted = slc_.fill(req);
+        if (evicted && evicted->dirty)
+            dram_.write(now);
+    }
+
+    void
+    fillL1(Cache &l1, const MemRequest &req)
+    {
+        auto evicted = l1.fill(req);
+        if (evicted && evicted->dirty)
+            l2_.markDirty(evicted->addr);
+    }
+
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache slc_;
+    Dram dram_;
+    StridePrefetcher l1dStride_;
+    StridePrefetcher l2Stride_;
+    NextLinePrefetcher instNextLine_;
+    FlatMap<Inflight> inflight_;
+    PrefetchStats pfStats_;
+    std::vector<Addr> scratch_;
+};
+
+void
+expectCacheStatsEq(const char *level, const CacheStats &got,
+                   const CacheStats &want, std::uint64_t seed)
+{
+    const auto tag = [&](const char *f) {
+        return std::string(level) + "." + f + " (seed " +
+               std::to_string(seed) + ")";
+    };
+    EXPECT_EQ(got.demandAccesses, want.demandAccesses)
+        << tag("demandAccesses");
+    EXPECT_EQ(got.demandMisses, want.demandMisses)
+        << tag("demandMisses");
+    EXPECT_EQ(got.instDemandAccesses, want.instDemandAccesses)
+        << tag("instDemandAccesses");
+    EXPECT_EQ(got.instDemandMisses, want.instDemandMisses)
+        << tag("instDemandMisses");
+    EXPECT_EQ(got.dataDemandAccesses, want.dataDemandAccesses)
+        << tag("dataDemandAccesses");
+    EXPECT_EQ(got.dataDemandMisses, want.dataDemandMisses)
+        << tag("dataDemandMisses");
+    EXPECT_EQ(got.prefetchFills, want.prefetchFills)
+        << tag("prefetchFills");
+    EXPECT_EQ(got.fills, want.fills) << tag("fills");
+    EXPECT_EQ(got.evictions, want.evictions) << tag("evictions");
+    EXPECT_EQ(got.writebacks, want.writebacks) << tag("writebacks");
+    EXPECT_EQ(got.invalidations, want.invalidations)
+        << tag("invalidations");
+    EXPECT_EQ(got.instEvictions, want.instEvictions)
+        << tag("instEvictions");
+    EXPECT_EQ(got.dataEvictions, want.dataEvictions)
+        << tag("dataEvictions");
+    EXPECT_EQ(got.evictionsByTemp, want.evictionsByTemp)
+        << tag("evictionsByTemp");
+}
+
+/**
+ * Drive the real and reference hierarchies over one seeded random
+ * access stream and require identical outcomes.  The address space is
+ * small enough that every structure (both L1s, the L2, the SLC)
+ * overflows constantly, so eviction cascades, exclusive-SLC motion,
+ * dirty writebacks, in-flight merges and prefetch materialization all
+ * fire thousands of times per run.
+ */
+void
+runHierarchyDifferential(const HierarchyParams &hp, std::uint64_t seed,
+                         int accesses)
+{
+    CacheHierarchy real(hp);
+    ReferenceHierarchy ref(hp);
+    Rng rng(seed);
+    Cycles now = 0;
+
+    const Addr code_base = 0x10000;
+    const Addr code_bytes = 96 * 1024;
+    const Addr data_base = 0x400000;
+    const Addr data_bytes = 160 * 1024;
+
+    for (int i = 0; i < accesses; ++i) {
+        now += rng.below(120);
+        const std::uint64_t kind = rng.below(100);
+        MemRequest req;
+        if (kind < 55) {
+            // Instruction fetch with mild locality + temperature.
+            const Addr a = code_base +
+                           (rng.chance(0.7)
+                                ? rng.below(code_bytes / 8)
+                                : rng.below(code_bytes));
+            req.vaddr = req.paddr = a;
+            req.pc = a;
+            req.type = AccessType::InstFetch;
+            req.temp = static_cast<Temperature>(rng.below(4));
+            const AccessOutcome a_out = real.instFetch(req, now);
+            const AccessOutcome b_out = ref.instFetch(req, now);
+            ASSERT_EQ(a_out.latency, b_out.latency) << "seed " << seed
+                << " access " << i;
+            ASSERT_EQ(a_out.servedBy, b_out.servedBy) << "seed " << seed
+                << " access " << i;
+            ASSERT_EQ(a_out.l1Miss, b_out.l1Miss) << "seed " << seed
+                << " access " << i;
+            ASSERT_EQ(a_out.l2DemandMiss, b_out.l2DemandMiss)
+                << "seed " << seed << " access " << i;
+        } else if (kind < 90) {
+            // Data access; strided PCs so the stride prefetcher arms.
+            const Addr a = data_base +
+                           (rng.chance(0.5)
+                                ? (i % 64) * 256
+                                : rng.below(data_bytes));
+            req.vaddr = req.paddr = a;
+            req.pc = 0x8000 + (kind % 8) * 4;
+            req.type = rng.chance(0.3) ? AccessType::Store
+                                       : AccessType::Load;
+            const AccessOutcome a_out = real.dataAccess(req, now);
+            const AccessOutcome b_out = ref.dataAccess(req, now);
+            ASSERT_EQ(a_out.latency, b_out.latency) << "seed " << seed
+                << " access " << i;
+            ASSERT_EQ(a_out.servedBy, b_out.servedBy) << "seed " << seed
+                << " access " << i;
+            ASSERT_EQ(a_out.l2DemandMiss, b_out.l2DemandMiss)
+                << "seed " << seed << " access " << i;
+        } else if (kind < 97) {
+            // FDIP-style instruction prefetch.
+            const Addr a = code_base + rng.below(code_bytes);
+            req.vaddr = req.paddr = hp.l2.lineAddr(a);
+            req.pc = req.vaddr;
+            req.type = AccessType::InstPrefetch;
+            req.temp = static_cast<Temperature>(rng.below(4));
+            real.instPrefetch(req, now);
+            ref.instPrefetch(req, now);
+        } else {
+            // Emissary-style priority hint (inert for other policies).
+            const Addr a = code_base + rng.below(code_bytes);
+            real.markL2Priority(a);
+            ref.markL2Priority(a);
+        }
+    }
+
+    expectCacheStatsEq("l1i", real.l1i().stats(), ref.l1i().stats(),
+                       seed);
+    expectCacheStatsEq("l1d", real.l1d().stats(), ref.l1d().stats(),
+                       seed);
+    expectCacheStatsEq("l2", real.l2().stats(), ref.l2().stats(),
+                       seed);
+    expectCacheStatsEq("slc", real.slc().stats(), ref.slc().stats(),
+                       seed);
+    EXPECT_EQ(real.prefetchStats().issued, ref.prefetchStats().issued)
+        << "seed " << seed;
+    EXPECT_EQ(real.prefetchStats().covered,
+              ref.prefetchStats().covered) << "seed " << seed;
+    EXPECT_EQ(real.prefetchStats().late, ref.prefetchStats().late)
+        << "seed " << seed;
+    EXPECT_EQ(real.dram().reads(), ref.dram().reads())
+        << "seed " << seed;
+    EXPECT_EQ(real.dram().writes(), ref.dram().writes())
+        << "seed " << seed;
+    EXPECT_TRUE(real.checkInclusion()) << "seed " << seed;
+
+    // The in-flight trackers must agree entry for entry.
+    std::vector<std::pair<Addr, Cycles>> want = ref.inflightSnapshot();
+    std::vector<std::pair<Addr, Cycles>> got =
+        real.inflightSnapshot();
+    EXPECT_EQ(got, want) << "in-flight contents diverged, seed "
+                         << seed;
+}
+
+HierarchyParams
+diffParams()
+{
+    HierarchyParams hp;
+    hp.l1i = CacheGeometry{"L1I", 4 * 1024, 2, 64};
+    hp.l1d = CacheGeometry{"L1D", 4 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 16 * 1024, 4, 64};
+    hp.slc = CacheGeometry{"SLC", 64 * 1024, 8, 64};
+    return hp;
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceSrrip)
+{
+    for (const std::uint64_t seed : {11ull, 12ull, 13ull})
+        runHierarchyDifferential(diffParams(), seed, 20000);
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceEmissary)
+{
+    HierarchyParams hp = diffParams();
+    hp.l2Policy = PolicySpec("Emissary");
+    runHierarchyDifferential(hp, 21, 20000);
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceTrrip)
+{
+    HierarchyParams hp = diffParams();
+    hp.l2Policy = PolicySpec("TRRIP-2");
+    runHierarchyDifferential(hp, 31, 20000);
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceNonExclusive)
+{
+    HierarchyParams hp = diffParams();
+    hp.slcExclusive = false;
+    hp.l2Policy = PolicySpec("LRU");
+    runHierarchyDifferential(hp, 41, 20000);
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceNonInclusive)
+{
+    HierarchyParams hp = diffParams();
+    hp.l2Inclusive = false;
+    runHierarchyDifferential(hp, 51, 20000);
+}
+
+TEST(HierarchyDifferential, FusedCascadesMatchReferenceTinyPrune)
+{
+    // A prune threshold small enough that the sweep actually runs,
+    // guarding the exactly-at-threshold boundary semantics.
+    HierarchyParams hp = diffParams();
+    hp.inflightPruneThreshold = 8;
+    hp.inflightPruneGraceCycles = 500;
+    runHierarchyDifferential(hp, 61, 20000);
 }
 
 } // namespace

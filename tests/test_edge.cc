@@ -150,6 +150,94 @@ TEST(EdgeHierarchy, NonExclusiveSlcMode)
     EXPECT_GT(h.slc().residentLines(), 0u);
 }
 
+// ------------------ In-flight tracker prune boundary ----------------
+
+HierarchyParams
+pruneParams(std::size_t threshold, Cycles grace)
+{
+    HierarchyParams hp;
+    hp.l1i = CacheGeometry{"L1I", 2 * 1024, 2, 64};
+    hp.l1d = CacheGeometry{"L1D", 2 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 8 * 1024, 4, 64};
+    hp.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
+    hp.enablePrefetch = false; // Only explicit instPrefetch calls.
+    hp.inflightPruneThreshold = threshold;
+    hp.inflightPruneGraceCycles = grace;
+    return hp;
+}
+
+MemRequest
+instPf(Addr a)
+{
+    MemRequest r = inst(a);
+    r.type = AccessType::InstPrefetch;
+    return r;
+}
+
+TEST(EdgeInflightPrune, ExactlyAtThresholdNeverSweeps)
+{
+    // The sweep runs only when the tracker holds MORE than
+    // inflightPruneThreshold entries.  With exactly threshold entries,
+    // even arbitrarily stale never-demanded prefetches must survive
+    // and still materialize on a later demand.
+    CacheHierarchy h(pruneParams(4, 100));
+    for (Addr i = 0; i < 4; ++i)
+        h.instPrefetch(instPf(0x40000 + i * 64), i);
+    ASSERT_EQ(h.inflightSnapshot().size(), 4u);
+
+    // Far beyond every entry's ready + grace; a demand still finds
+    // the completed prefetch (no sweep ever ran).
+    const AccessOutcome out = h.instFetch(inst(0x40000), 1'000'000);
+    EXPECT_FALSE(out.l2DemandMiss);
+    EXPECT_EQ(h.prefetchStats().covered, 1u);
+    EXPECT_EQ(h.inflightSnapshot().size(), 3u);
+}
+
+TEST(EdgeInflightPrune, OneBeyondThresholdSweepsExpired)
+{
+    CacheHierarchy h(pruneParams(4, 100));
+    for (Addr i = 0; i < 4; ++i)
+        h.instPrefetch(instPf(0x40000 + i * 64), i);
+
+    // The fifth insert exceeds the threshold and sweeps the four
+    // stale entries (ready + grace long past), keeping only itself.
+    h.instPrefetch(instPf(0x50000), 1'000'000);
+    const auto entries = h.inflightSnapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].first, 0x50000u);
+
+    // A demand to a swept line is a full DRAM miss, not covered.
+    const AccessOutcome out = h.instFetch(inst(0x40000), 2'000'000);
+    EXPECT_TRUE(out.l2DemandMiss);
+    EXPECT_EQ(out.servedBy, ServedBy::Dram);
+    EXPECT_EQ(h.prefetchStats().covered, 0u);
+}
+
+TEST(EdgeInflightPrune, GraceBoundaryIsStrict)
+{
+    // An entry expires only when ready + grace < now -- at
+    // now == ready + grace it must survive the sweep.
+    const Cycles grace = 100;
+    CacheHierarchy h(pruneParams(1, grace));
+    h.instPrefetch(instPf(0x40000), 0);
+    auto entries = h.inflightSnapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    const Cycles ready = entries[0].second;
+
+    // Sweep triggered exactly at the boundary: not expired yet.
+    h.instPrefetch(instPf(0x41000), ready + grace);
+    entries = h.inflightSnapshot();
+    EXPECT_EQ(entries.size(), 2u);
+
+    // One cycle later the first entry is strictly past the grace
+    // period and the next over-threshold insert removes it.
+    h.instPrefetch(instPf(0x42000), ready + grace + 1);
+    entries = h.inflightSnapshot();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, 0x41000u);
+    EXPECT_EQ(entries[1].first, 0x42000u);
+}
+
 // ----------------------- Classifier extremes ------------------------
 
 TEST(EdgeClassifier, SingleBlockProgram)

@@ -112,31 +112,56 @@ fingerprint(const SimResult &r, std::string &dump_out)
     return h;
 }
 
+/**
+ * One pinned configuration.  Beyond (workload, policy, pgo), a case
+ * can deviate from the Table 1 defaults along the axes the fig8 /
+ * fig9 sensitivity benches sweep -- the compiler hot threshold, the
+ * L2 geometry -- plus the FDIP lookahead depth, so the guard also
+ * covers configurations that stress the run-ahead window and the
+ * eviction cascade.  A zero value means "leave the default".
+ */
 struct GoldenCase
 {
     const char *workload;
     const char *policy;
     bool pgo;
+    double percentileHot;       //!< fig8 axis; 0 = default.
+    std::uint64_t l2SizeKb;     //!< fig9a axis; 0 = default (128).
+    std::uint32_t l2Assoc;      //!< fig9b axis; 0 = default (8).
+    unsigned fdipLookahead;     //!< Run-ahead depth; 0 = default (8).
     std::uint64_t expected;
 };
 
 /**
  * Pinned fingerprints, collected from the pre-optimization engine
- * (PR 3 baseline).  Regenerate only for intentional behavior changes:
- * run with TRRIP_PRINT_GOLDEN=1 and copy the printed table.
+ * (PR 3 baseline; the fig8/fig9 configuration rows were generated on
+ * the pre-batching PR 4 engine).  Regenerate only for intentional
+ * behavior changes: run with TRRIP_PRINT_GOLDEN=1 and copy the
+ * printed table.
  */
 const GoldenCase kGoldenCases[] = {
-    {"python", "SRRIP", true, 0x354f6bb93937f302ull},
-    {"python", "TRRIP-2", true, 0x9ff8d0f96e931894ull},
-    {"clang", "LRU", true, 0x5de744e9e9e7e65bull},
-    {"clang", "TRRIP-1", true, 0x237595874b157a43ull},
-    {"sqlite", "SHiP", true, 0xa40ffba600a4f5e6ull},
-    {"gcc", "DRRIP", false, 0x7b354e706eb46d74ull},
-    {"omnetpp", "BRRIP", true, 0xd25c0f74ab141037ull},
-    {"abseil", "CLIP", true, 0x4f83720389470805ull},
-    {"deepsjeng", "Emissary", true, 0xda094574784b19edull},
-    {"rapidjson", "Random", false, 0x4c50f5d1cf3b06daull},
-    {"bullet", "SRRIP(bits=3)", true, 0x57837c9ada14be9cull},
+    {"python", "SRRIP", true, 0, 0, 0, 0, 0x354f6bb93937f302ull},
+    {"python", "TRRIP-2", true, 0, 0, 0, 0, 0x9ff8d0f96e931894ull},
+    {"clang", "LRU", true, 0, 0, 0, 0, 0x5de744e9e9e7e65bull},
+    {"clang", "TRRIP-1", true, 0, 0, 0, 0, 0x237595874b157a43ull},
+    {"sqlite", "SHiP", true, 0, 0, 0, 0, 0xa40ffba600a4f5e6ull},
+    {"gcc", "DRRIP", false, 0, 0, 0, 0, 0x7b354e706eb46d74ull},
+    {"omnetpp", "BRRIP", true, 0, 0, 0, 0, 0xd25c0f74ab141037ull},
+    {"abseil", "CLIP", true, 0, 0, 0, 0, 0x4f83720389470805ull},
+    {"deepsjeng", "Emissary", true, 0, 0, 0, 0,
+     0xda094574784b19edull},
+    {"rapidjson", "Random", false, 0, 0, 0, 0,
+     0x4c50f5d1cf3b06daull},
+    {"bullet", "SRRIP(bits=3)", true, 0, 0, 0, 0,
+     0x57837c9ada14be9cull},
+    // fig8 hot-threshold configurations (Percentile_hot extremes).
+    {"gcc", "TRRIP-1", true, 0.10, 0, 0, 0, 0x3c2c771688db8c19ull},
+    {"sqlite", "TRRIP-2", true, 0.9999, 0, 0, 16,
+     0xc5d2ceaa30d6ace4ull},
+    // fig9 cache-sensitivity configurations (L2 size/assoc sweeps).
+    {"omnetpp", "CLIP", true, 0, 256, 0, 0, 0x55db4f347df84ea5ull},
+    {"clang", "Emissary", true, 0, 0, 16, 0, 0x026c744574ba810dull},
+    {"python", "DRRIP", true, 0, 512, 0, 2, 0xc960623690da29ecull},
 };
 
 TEST(Golden, EngineFingerprintsAreBitIdentical)
@@ -147,12 +172,24 @@ TEST(Golden, EngineFingerprintsAreBitIdentical)
         SimOptions opts;
         opts.maxInstructions = kGoldenBudget;
         opts.pgo = c.pgo;
+        if (c.percentileHot > 0)
+            opts.classifier.percentileHot = c.percentileHot;
+        if (c.l2SizeKb > 0)
+            opts.hier.l2.sizeBytes = c.l2SizeKb * 1024;
+        if (c.l2Assoc > 0)
+            opts.hier.l2.assoc = c.l2Assoc;
+        if (c.fdipLookahead > 0)
+            opts.core.fdipLookahead = c.fdipLookahead;
         const RunArtifacts art = pipeline.run(c.policy, opts);
         std::string dump;
         const std::uint64_t fp = fingerprint(art.result, dump);
         if (print) {
-            std::printf("    {\"%s\", \"%s\", %s, 0x%016llxull},\n",
+            std::printf("    {\"%s\", \"%s\", %s, %g, %llu, %u, %u, "
+                        "0x%016llxull},\n",
                         c.workload, c.policy, c.pgo ? "true" : "false",
+                        c.percentileHot,
+                        static_cast<unsigned long long>(c.l2SizeKb),
+                        c.l2Assoc, c.fdipLookahead,
                         static_cast<unsigned long long>(fp));
             continue;
         }
