@@ -10,11 +10,33 @@
  *   3. TRRIP_JOBS-wide pool, shared ProfileCache.
  * The combined speedup of (3) over (1) is superlinear in cores when
  * profile reuse removes the per-cell instrumented run.
+ *
+ * Timing is machine-dependent, so besides the printed table the
+ * rows go to a PERF_runner_scaling.json sidecar (TRRIP_RESULTS_DIR)
+ * making the orchestration-layer speedup machine-checkable alongside
+ * the throughput sidecars.  BENCH_* files never carry timing.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "harness.hh"
+#include "util/logging.hh"
+
+namespace {
+
+std::string
+sidecarPath()
+{
+    const char *dir = std::getenv("TRRIP_RESULTS_DIR");
+    std::string base = (dir && *dir) ? dir : ".";
+    return base + "/PERF_runner_scaling.json";
+}
+
+} // namespace
 
 int
 main()
@@ -33,15 +55,29 @@ main()
     struct Mode
     {
         const char *label;
+        const char *key;
         unsigned threads;
         bool reuse;
     };
     const Mode modes[] = {
-        {"serial, per-cell profiles", 1, false},
-        {"serial, shared profile cache", 1, true},
-        {"parallel, shared profile cache",
+        {"serial, per-cell profiles", "serial_per_cell_profiles", 1,
+         false},
+        {"serial, shared profile cache", "serial_shared_cache", 1,
+         true},
+        {"parallel, shared profile cache", "parallel_shared_cache",
          ExperimentRunner::defaultJobs(), true},
     };
+
+    struct Row
+    {
+        const Mode *mode;
+        unsigned threadsUsed;
+        double wallSeconds;
+        double speedup;
+        std::uint64_t collections;
+        std::uint64_t hits;
+    };
+    std::vector<Row> rows;
 
     banner(spec.title);
     double base_wall = 0.0;
@@ -51,21 +87,53 @@ main()
         const auto results = runner.run(spec);
         if (base_wall == 0.0)
             base_wall = results.wallSeconds;
+        Row row;
+        row.mode = &mode;
+        row.threadsUsed = results.threadsUsed;
+        row.wallSeconds = results.wallSeconds;
+        row.speedup = results.wallSeconds > 0.0
+                          ? base_wall / results.wallSeconds
+                          : 0.0;
+        row.collections = results.profileCollections;
+        row.hits = results.profileHits;
+        rows.push_back(row);
         std::printf("%-34s %2u threads  %6.2fs wall  %5.2fx vs "
                     "per-cell  (%llu profile collections, %llu "
                     "hits)\n",
-                    mode.label, results.threadsUsed,
-                    results.wallSeconds,
-                    results.wallSeconds > 0.0
-                        ? base_wall / results.wallSeconds
-                        : 0.0,
-                    static_cast<unsigned long long>(
-                        results.profileCollections),
-                    static_cast<unsigned long long>(
-                        results.profileHits));
+                    mode.label, row.threadsUsed, row.wallSeconds,
+                    row.speedup,
+                    static_cast<unsigned long long>(row.collections),
+                    static_cast<unsigned long long>(row.hits));
     }
     std::printf("\nProfile reuse removes the per-cell instrumented "
                 "run; the pool then scales the remaining evaluation "
                 "runs across cores.\n");
+
+    const std::string path = sidecarPath();
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open ", path, " for writing");
+    out << "{\n  \"bench\": \"runner_scaling\",\n";
+    out << "  \"budget_instructions\": "
+        << resolveBudget(spec.options) << ",\n";
+    out << "  \"cells\": " << spec.cellCount() << ",\n";
+    out << "  \"modes\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"mode\": \"%s\", \"threads\": %u, "
+                      "\"wall_seconds\": %.6f, "
+                      "\"speedup_vs_per_cell\": %.3f, "
+                      "\"profile_collections\": %llu, "
+                      "\"profile_hits\": %llu}%s\n",
+                      row.mode->key, row.threadsUsed, row.wallSeconds,
+                      row.speedup,
+                      static_cast<unsigned long long>(row.collections),
+                      static_cast<unsigned long long>(row.hits),
+                      i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -39,10 +39,10 @@ ProfileCache::get(const SyntheticWorkload &workload,
         entry->profile = std::make_shared<const Profile>(
             collectProfile(workload, profile_instructions));
         collected = true;
-        collections_.fetch_add(1);
+        collections_.fetch_add(1, std::memory_order_relaxed);
     });
     if (!collected)
-        hits_.fetch_add(1);
+        hits_.fetch_add(1, std::memory_order_relaxed);
     return entry->profile;
 }
 
@@ -51,8 +51,8 @@ ProfileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
-    collections_.store(0);
-    hits_.store(0);
+    collections_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace trrip::exp

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "sim/simulator.hh"
+#include "util/arena.hh"
 
 namespace trrip::exp {
 
@@ -40,10 +41,18 @@ class ProfileCache
         InstCount profile_instructions);
 
     /** Instrumented runs actually executed (one per distinct key). */
-    std::uint64_t collections() const { return collections_.load(); }
+    std::uint64_t
+    collections() const
+    {
+        return collections_.load(std::memory_order_relaxed);
+    }
 
     /** Requests served from an already-collected profile. */
-    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
 
     /** Drop all cached profiles and reset the counters. */
     void clear();
@@ -60,8 +69,11 @@ class ProfileCache
 
     std::mutex mutex_;
     std::map<std::string, std::shared_ptr<Entry>> entries_;
-    std::atomic<std::uint64_t> collections_{0};
-    std::atomic<std::uint64_t> hits_{0};
+    // Statistics only (no ordering is derived from them), bumped from
+    // every worker at once: relaxed, and each on its own cache line
+    // so a hit on one core never invalidates a collection elsewhere.
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> collections_{0};
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> hits_{0};
 };
 
 } // namespace trrip::exp

@@ -1,10 +1,9 @@
 #include "exp/runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "core/policy_registry.hh"
@@ -83,66 +82,154 @@ ExperimentRunner::ExperimentRunner(unsigned threads) :
     threads_(threads > 0 ? threads : defaultJobs())
 {}
 
-namespace {
+ExperimentRunner::~ExperimentRunner() = default;
+
+WorkerPool &
+ExperimentRunner::ensurePool()
+{
+    std::call_once(poolOnce_, [&] {
+        pool_ = std::make_unique<WorkerPool>(threads_);
+    });
+    return *pool_;
+}
+
+namespace detail {
 
 /**
- * Per-worker deques of cell indices: owners pop their own front (grid
- * order), thieves take from a victim's back.  Cells are striped
- * round-robin at construction, so a balanced grid starts balanced and
- * imbalanced cells (different budgets, skipped cells) migrate to idle
- * workers.
+ * Everything one submitted grid carries through the pool.  Shared by
+ * the batch item closures and the PendingRun handle; the closures are
+ * dropped when each batch completes, so the only reference left after
+ * wait() is the caller's.
  */
-class StealQueues
+struct RunState
 {
-  public:
-    StealQueues(std::size_t workers, const std::vector<std::size_t> &work)
-        : queues_(workers), mutexes_(workers)
+    ExperimentSpec spec;
+    std::function<WorkloadParams(const std::string &)> paramsFor;
+    std::vector<CellRecord> records;
+    std::vector<std::size_t> live;  //!< Record indices to execute.
+    std::vector<ResultSink *> sinks;
+
+    /**
+     * Per-workload pipelines, built exactly once on whichever worker
+     * touches a workload first (a dedicated build batch races the
+     * cells; std::call_once de-duplicates).  The pipeline object is
+     * carved from the building worker's arena and destroyed when the
+     * run's last batch completes -- before the batch retires, which
+     * is what keeps WorkerPool::resetArenasIfIdle() sound.
+     */
+    std::unique_ptr<std::once_flag[]> buildOnce;
+    std::vector<Arena::UniquePtr<CoDesignPipeline>> pipelines;
+
+    ProfileCache *profiles = nullptr;
+    bool reuseProfiles = true;
+    WorkerPool *pool = nullptr;
+
+    std::chrono::steady_clock::time_point t0;
+    double wallSeconds = 0.0;
+    unsigned threadsUsed = 1;
+    std::uint64_t collectionsBefore = 0;
+    std::uint64_t hitsBefore = 0;
+    std::uint64_t collectionsDelta = 0;
+    std::uint64_t hitsDelta = 0;
+
+    /** Build batch + cell batch still outstanding. */
+    std::atomic<int> phasesRemaining{0};
+    std::shared_ptr<WorkerPool::Batch> buildBatch;
+    std::shared_ptr<WorkerPool::Batch> cellBatch;
+
+    void
+    ensurePipeline(std::size_t workload, WorkerContext &wc)
     {
-        for (std::size_t i = 0; i < work.size(); ++i)
-            queues_[i % workers].push_back(work[i]);
+        std::call_once(buildOnce[workload], [&] {
+            pipelines[workload] =
+                wc.arena->makeUnique<CoDesignPipeline>(
+                    paramsFor(spec.workloads[workload]));
+        });
     }
 
-    /** Pop for @p worker: own queue first, then steal from others. */
-    bool
-    pop(std::size_t worker, std::size_t &out)
+    /** Called as each batch completes; the last one finalizes. */
+    void
+    finishPhase()
     {
-        if (popFrom(worker, out, /*steal=*/false))
-            return true;
-        for (std::size_t k = 1; k < queues_.size(); ++k) {
-            if (popFrom((worker + k) % queues_.size(), out,
-                        /*steal=*/true))
-                return true;
-        }
-        return false;
+        if (phasesRemaining.fetch_sub(1) != 1)
+            return;
+        pipelines.clear();
+        wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        // With overlapping submits on one runner these deltas can
+        // include a concurrent spec's cache traffic; for a lone
+        // run() they are exact, as before.
+        collectionsDelta = profiles->collections() - collectionsBefore;
+        hitsDelta = profiles->hits() - hitsBefore;
     }
 
-  private:
-    bool
-    popFrom(std::size_t victim, std::size_t &out, bool steal)
+    void
+    runCell(std::size_t ordinal, WorkerContext &wc)
     {
-        std::lock_guard<std::mutex> lock(mutexes_[victim]);
-        auto &q = queues_[victim];
-        if (q.empty())
-            return false;
-        if (steal) {
-            out = q.back();
-            q.pop_back();
+        CellRecord &rec = records[live[ordinal]];
+        CellContext ctx;
+        ctx.id = rec.id;
+        ctx.workload = rec.workload;
+        ctx.policy = rec.policy;
+        ctx.config = rec.config;
+        ctx.options = spec.options;
+        ctx.worker = wc.worker;
+        ctx.arena = wc.arena;
+        if (!spec.configs.empty() && spec.configs[ctx.id.config].apply)
+            spec.configs[ctx.id.config].apply(ctx.options);
+        // Config mutators must not smuggle in a shared observer
+        // either (see the guard on the base options in submit()).
+        panic_if(ctx.options.reuse || ctx.options.costly,
+                 "experiment '", spec.name,
+                 "': attach observers via ExperimentSpec::hooks, not "
+                 "a config mutator");
+        if (spec.hooks)
+            rec.hook = spec.hooks(ctx.options, ctx.id);
+        if (!spec.runCell)
+            ensurePipeline(ctx.id.workload, wc);
+        ctx.pipeline = pipelines.empty()
+                           ? nullptr
+                           : pipelines[ctx.id.workload].get();
+        ctx.profiles = profiles;
+
+        CellOutcome outcome;
+        if (spec.runCell) {
+            outcome = spec.runCell(ctx);
         } else {
-            out = q.front();
-            q.pop_front();
+            panic_if(!ctx.pipeline, "spec '", spec.name,
+                     "' has no workloads and no runCell");
+            std::shared_ptr<const Profile> profile =
+                ctx.options.precomputedProfile;
+            if (!profile) {
+                const InstCount budget =
+                    resolveProfileBudget(ctx.options);
+                // Without reuse every cell repeats its instrumented
+                // run (the no-cache worst case).
+                profile = reuseProfiles
+                              ? profiles->get(ctx.pipeline->workload(),
+                                              budget)
+                              : std::make_shared<const Profile>(
+                                    collectProfile(
+                                        ctx.pipeline->workload(),
+                                        budget));
+            }
+            outcome.artifacts =
+                ctx.pipeline->run(ctx.policy, ctx.options, profile);
+            outcome.metrics =
+                defaultMetrics(outcome.artifacts.result);
         }
-        return true;
+        rec.artifacts = std::move(outcome.artifacts);
+        rec.metrics = std::move(outcome.metrics);
     }
-
-    std::vector<std::deque<std::size_t>> queues_;
-    std::vector<std::mutex> mutexes_;
 };
 
-} // namespace
+} // namespace detail
 
-ExperimentResults
-ExperimentRunner::run(const ExperimentSpec &spec,
-                      const std::vector<ResultSink *> &sinks)
+PendingRun
+ExperimentRunner::submit(const ExperimentSpec &spec,
+                         const std::vector<ResultSink *> &sinks)
 {
     // A single observer shared by every cell would be mutated from
     // all worker threads at once (and would aggregate across cells
@@ -168,21 +255,25 @@ ExperimentRunner::run(const ExperimentSpec &spec,
         }
     }
 
-    const auto params_for = spec.paramsFor
-                                ? spec.paramsFor
-                                : [](const std::string &name) {
-                                      return proxyParams(name);
-                                  };
+    auto state = std::make_shared<detail::RunState>();
+    state->spec = spec;
+    state->sinks = sinks;
+    state->paramsFor = spec.paramsFor
+                           ? spec.paramsFor
+                           : [](const std::string &name) {
+                                 return proxyParams(name);
+                             };
+    state->profiles = &profiles_;
+    state->reuseProfiles = reuseProfiles_;
 
     const std::size_t n_cells = spec.cellCount();
-    std::vector<CellRecord> records(n_cells);
+    state->records.resize(n_cells);
 
     // Enumerate the live cells up front (deterministic order).
-    std::vector<std::size_t> live;
-    live.reserve(n_cells);
+    state->live.reserve(n_cells);
     for (std::size_t i = 0; i < n_cells; ++i) {
         const CellId id = spec.cellIdAt(i);
-        CellRecord &rec = records[i];
+        CellRecord &rec = state->records[i];
         rec.id = id;
         rec.workload = spec.workloads[id.workload];
         rec.policy = spec.policies[id.policy];
@@ -190,131 +281,88 @@ ExperimentRunner::run(const ExperimentSpec &spec,
         if (spec.filter && !spec.filter(id))
             continue;
         rec.valid = true;
-        live.push_back(i);
+        state->live.push_back(i);
     }
 
-    const std::uint64_t collections_before = profiles_.collections();
-    const std::uint64_t hits_before = profiles_.hits();
-    const auto t0 = std::chrono::steady_clock::now();
-
-    const unsigned n_workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, std::max<std::size_t>(
-                                            1, live.size())));
-
-    // Build each workload's pipeline exactly once.  Builds are
-    // independent, so stripe them across the same worker count.
     // Custom-executor specs get no pipelines: their workload axis is
     // free-form labels, not proxy names.
-    std::vector<std::unique_ptr<CoDesignPipeline>> pipelines(
-        spec.runCell ? 0 : spec.workloads.size());
-    if (!pipelines.empty()) {
-        std::vector<std::size_t> builds(pipelines.size());
-        for (std::size_t i = 0; i < builds.size(); ++i)
-            builds[i] = i;
-        StealQueues queues(n_workers, builds);
-        auto build_worker = [&](std::size_t worker) {
-            std::size_t w;
-            while (queues.pop(worker, w))
-                pipelines[w] = std::make_unique<CoDesignPipeline>(
-                    params_for(spec.workloads[w]));
-        };
-        std::vector<std::thread> threads;
-        for (unsigned t = 1; t < n_workers; ++t)
-            threads.emplace_back(build_worker, t);
-        build_worker(0);
-        for (auto &t : threads)
-            t.join();
+    const std::size_t n_builds =
+        spec.runCell ? 0 : spec.workloads.size();
+    state->buildOnce = std::make_unique<std::once_flag[]>(n_builds);
+    state->pipelines.resize(n_builds);
+
+    state->threadsUsed = static_cast<unsigned>(std::min<std::size_t>(
+        threads_, std::max<std::size_t>(1, state->live.size())));
+    state->collectionsBefore = profiles_.collections();
+    state->hitsBefore = profiles_.hits();
+    state->t0 = std::chrono::steady_clock::now();
+
+    WorkerPool &pool = ensurePool();
+    state->pool = &pool;
+    state->phasesRemaining.store(n_builds > 0 ? 2 : 1);
+
+    // Both phases ride the persistent pool.  The build batch is
+    // submitted first so idle workers pre-build pipelines in
+    // parallel, but cells do not wait for it: a cell arriving ahead
+    // of the builder constructs its own workload's pipeline through
+    // the same once-flag.
+    if (n_builds > 0) {
+        state->buildBatch = pool.submit(
+            n_builds,
+            [state](std::size_t w, WorkerContext &wc) {
+                state->ensurePipeline(w, wc);
+            },
+            state->threadsUsed,
+            [state] { state->finishPhase(); });
     }
+    state->cellBatch = pool.submit(
+        state->live.size(),
+        [state](std::size_t ordinal, WorkerContext &wc) {
+            state->runCell(ordinal, wc);
+        },
+        state->threadsUsed, [state] { state->finishPhase(); });
 
-    const auto run_cell = [&](std::size_t index) {
-        CellRecord &rec = records[index];
-        CellContext ctx;
-        ctx.id = rec.id;
-        ctx.workload = rec.workload;
-        ctx.policy = rec.policy;
-        ctx.config = rec.config;
-        ctx.options = spec.options;
-        if (!spec.configs.empty() && spec.configs[ctx.id.config].apply)
-            spec.configs[ctx.id.config].apply(ctx.options);
-        // Config mutators must not smuggle in a shared observer
-        // either (see the guard on the base options above).
-        panic_if(ctx.options.reuse || ctx.options.costly,
-                 "experiment '", spec.name,
-                 "': attach observers via ExperimentSpec::hooks, not "
-                 "a config mutator");
-        if (spec.hooks)
-            rec.hook = spec.hooks(ctx.options, ctx.id);
-        ctx.pipeline = pipelines.empty()
-                           ? nullptr
-                           : pipelines[ctx.id.workload].get();
-        ctx.profiles = &profiles_;
+    return PendingRun(std::move(state));
+}
 
-        CellOutcome outcome;
-        if (spec.runCell) {
-            outcome = spec.runCell(ctx);
-        } else {
-            panic_if(!ctx.pipeline, "spec '", spec.name,
-                     "' has no workloads and no runCell");
-            std::shared_ptr<const Profile> profile =
-                ctx.options.precomputedProfile;
-            if (!profile) {
-                const InstCount budget =
-                    resolveProfileBudget(ctx.options);
-                // Without reuse every cell repeats its instrumented
-                // run (the no-cache worst case).
-                profile = reuseProfiles_
-                              ? profiles_.get(ctx.pipeline->workload(),
-                                              budget)
-                              : std::make_shared<const Profile>(
-                                    collectProfile(
-                                        ctx.pipeline->workload(),
-                                        budget));
-            }
-            outcome.artifacts =
-                ctx.pipeline->run(ctx.policy, ctx.options, profile);
-            outcome.metrics =
-                defaultMetrics(outcome.artifacts.result);
-        }
-        rec.artifacts = std::move(outcome.artifacts);
-        rec.metrics = std::move(outcome.metrics);
-    };
+bool
+PendingRun::done() const
+{
+    panic_if(!state_, "done() on an empty PendingRun");
+    return state_->cellBatch->done() &&
+           (!state_->buildBatch || state_->buildBatch->done());
+}
 
-    {
-        StealQueues queues(n_workers, live);
-        auto worker = [&](std::size_t worker_id) {
-            std::size_t index;
-            while (queues.pop(worker_id, index))
-                run_cell(index);
-        };
-        std::vector<std::thread> threads;
-        for (unsigned t = 1; t < n_workers; ++t)
-            threads.emplace_back(worker, t);
-        worker(0);
-        for (auto &t : threads)
-            t.join();
-    }
+ExperimentResults
+PendingRun::wait()
+{
+    panic_if(!state_, "wait() on an empty PendingRun");
+    const std::shared_ptr<detail::RunState> state = std::move(state_);
+    state->cellBatch->wait();
+    if (state->buildBatch)
+        state->buildBatch->wait();
 
-    ExperimentResults results(spec, std::move(records));
-    results.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
-    results.threadsUsed = n_workers;
-    results.profileCollections =
-        profiles_.collections() - collections_before;
-    results.profileHits = profiles_.hits() - hits_before;
+    ExperimentResults results(state->spec, std::move(state->records));
+    results.wallSeconds = state->wallSeconds;
+    results.threadsUsed = state->threadsUsed;
+    results.profileCollections = state->collectionsDelta;
+    results.profileHits = state->hitsDelta;
 
-    // Sinks observe cells in deterministic index order, independent of
-    // the schedule the pool actually executed.
-    for (ResultSink *sink : sinks) {
+    // Sinks observe cells in deterministic index order on the waiting
+    // thread, independent of the schedule the pool actually executed.
+    for (ResultSink *sink : state->sinks) {
         if (!sink)
             continue;
-        sink->begin(spec);
+        sink->begin(results.spec());
         for (const CellRecord &rec : results.cells())
             if (rec.valid)
                 sink->cell(rec);
         sink->end(results);
     }
+
+    // Opportunistically recycle the worker arenas (no-op while any
+    // other spec is still in flight).
+    state->pool->resetArenasIfIdle();
     return results;
 }
 

@@ -5,9 +5,13 @@
  * The runner expands an ExperimentSpec into cells, builds each
  * workload's CoDesignPipeline exactly once, resolves each cell's
  * training profile through a shared ProfileCache, and executes the
- * cells on a work-stealing std::thread pool.  Results are stored by
- * deterministic cell index and fed to the sinks in that order, so the
- * output is bit-identical regardless of thread count or scheduling.
+ * cells on a persistent work-stealing WorkerPool that is reused
+ * across run() calls (no thread is spawned or joined per run).
+ * submit() enqueues a grid without blocking, so several specs can be
+ * in flight at once with cell-granularity stealing across them.
+ * Results are stored by deterministic cell index and fed to the
+ * sinks in that order, so the output is bit-identical regardless of
+ * thread count or scheduling.
  */
 
 #ifndef TRRIP_EXP_RUNNER_HH
@@ -15,8 +19,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "exp/pool.hh"
 #include "exp/profile_cache.hh"
 #include "exp/spec.hh"
 
@@ -76,17 +82,70 @@ class ExperimentResults
     std::vector<CellRecord> cells_;
 };
 
-/** Work-stealing executor for experiment grids. */
+namespace detail {
+struct RunState;
+} // namespace detail
+
+/**
+ * Handle to a submitted-but-possibly-unfinished grid.  wait()
+ * blocks until every cell ran, feeds the sinks (on the waiting
+ * thread, in deterministic cell order) and yields the results;
+ * it consumes the handle and must be called exactly once.  The
+ * owning ExperimentRunner must outlive the handle.
+ */
+class PendingRun
+{
+  public:
+    PendingRun() = default;
+    PendingRun(PendingRun &&) = default;
+    PendingRun &operator=(PendingRun &&) = default;
+
+    /** Block until the grid completed, then finalize. */
+    ExperimentResults wait();
+
+    /** Whether every cell (and pipeline build) has finished. */
+    bool done() const;
+
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class ExperimentRunner;
+    explicit PendingRun(std::shared_ptr<detail::RunState> state) :
+        state_(std::move(state))
+    {}
+
+    std::shared_ptr<detail::RunState> state_;
+};
+
+/**
+ * Executor for experiment grids on a persistent worker pool.  The
+ * pool (threads() workers) is created on first use and reused by
+ * every subsequent submit()/run(); pipeline builds and cells both
+ * ride it.
+ */
 class ExperimentRunner
 {
   public:
     /** @p threads = 0 means TRRIP_JOBS from the environment, else the
      *  hardware concurrency. */
     explicit ExperimentRunner(unsigned threads = 0);
+    ~ExperimentRunner();
 
-    /** Run @p spec; sinks (may be empty) are fed in cell order. */
-    ExperimentResults run(const ExperimentSpec &spec,
-                          const std::vector<ResultSink *> &sinks = {});
+    /**
+     * Enqueue @p spec on the pool and return without blocking, so
+     * multiple specs can be in flight at once (cells steal across
+     * them at cell granularity).  The sinks are fed by wait().
+     */
+    PendingRun submit(const ExperimentSpec &spec,
+                      const std::vector<ResultSink *> &sinks = {});
+
+    /** Run @p spec to completion; sinks are fed in cell order. */
+    ExperimentResults
+    run(const ExperimentSpec &spec,
+        const std::vector<ResultSink *> &sinks = {})
+    {
+        return submit(spec, sinks).wait();
+    }
 
     /** The shared profile cache (persists across run() calls). */
     ProfileCache &profiles() { return profiles_; }
@@ -104,9 +163,15 @@ class ExperimentRunner
     static unsigned defaultJobs();
 
   private:
+    WorkerPool &ensurePool();
+
     unsigned threads_;
     bool reuseProfiles_ = true;
     ProfileCache profiles_;
+    std::once_flag poolOnce_;
+    // Last member: its destructor drains the workers while every
+    // other member (the profile cache in particular) is still alive.
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 } // namespace trrip::exp

@@ -21,6 +21,10 @@
 #include "core/codesign.hh"
 #include "workloads/proxies.hh"
 
+namespace trrip {
+class Arena;
+} // namespace trrip
+
 namespace trrip::exp {
 
 class ProfileCache;
@@ -60,6 +64,11 @@ struct CellContext
      *  no workloads and a custom runCell synthesizes its own cells). */
     const CoDesignPipeline *pipeline = nullptr;
     ProfileCache *profiles = nullptr;
+    /** Stable id of the pool worker executing this cell. */
+    unsigned worker = 0;
+    /** That worker's private arena (see exp/pool.hh); objects carved
+     *  from it must be destroyed before the cell returns. */
+    Arena *arena = nullptr;
 };
 
 /** One experiment grid. */

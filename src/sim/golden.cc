@@ -1,0 +1,146 @@
+#include "sim/golden.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace trrip {
+
+namespace {
+
+/** Fold one 64-bit value into an FNV-1a hash, byte by byte. */
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Hash + log one named counter. */
+void
+fold(std::uint64_t &h, std::ostringstream &dump, const char *name,
+     std::uint64_t v)
+{
+    h = fnv1a(h, v);
+    dump << "  " << name << " = " << v << "\n";
+}
+
+void
+foldCache(std::uint64_t &h, std::ostringstream &dump, const char *level,
+          const CacheStats &s)
+{
+    const auto tag = [&](const char *field) {
+        return std::string(level) + "." + field;
+    };
+    fold(h, dump, tag("demandAccesses").c_str(), s.demandAccesses);
+    fold(h, dump, tag("demandMisses").c_str(), s.demandMisses);
+    fold(h, dump, tag("instDemandAccesses").c_str(),
+         s.instDemandAccesses);
+    fold(h, dump, tag("instDemandMisses").c_str(), s.instDemandMisses);
+    fold(h, dump, tag("dataDemandAccesses").c_str(),
+         s.dataDemandAccesses);
+    fold(h, dump, tag("dataDemandMisses").c_str(), s.dataDemandMisses);
+    fold(h, dump, tag("prefetchFills").c_str(), s.prefetchFills);
+    fold(h, dump, tag("fills").c_str(), s.fills);
+    fold(h, dump, tag("evictions").c_str(), s.evictions);
+    fold(h, dump, tag("writebacks").c_str(), s.writebacks);
+    fold(h, dump, tag("invalidations").c_str(), s.invalidations);
+    fold(h, dump, tag("instEvictions").c_str(), s.instEvictions);
+    fold(h, dump, tag("dataEvictions").c_str(), s.dataEvictions);
+    for (std::size_t t = 0; t < s.evictionsByTemp.size(); ++t) {
+        fold(h, dump,
+             (tag("evictionsByTemp.") + std::to_string(t)).c_str(),
+             s.evictionsByTemp[t]);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+goldenFingerprint(const SimResult &r, std::string *dump_out)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    std::ostringstream dump;
+    fold(h, dump, "instructions", r.instructions);
+    std::uint64_t cycle_bits = 0;
+    static_assert(sizeof(cycle_bits) == sizeof(r.cycles));
+    std::memcpy(&cycle_bits, &r.cycles, sizeof(cycle_bits));
+    fold(h, dump, "cycles(bits)", cycle_bits);
+    foldCache(h, dump, "l1i", r.l1i);
+    foldCache(h, dump, "l1d", r.l1d);
+    foldCache(h, dump, "l2", r.l2);
+    foldCache(h, dump, "slc", r.slc);
+    fold(h, dump, "prefetch.issued", r.prefetch.issued);
+    fold(h, dump, "prefetch.covered", r.prefetch.covered);
+    fold(h, dump, "prefetch.late", r.prefetch.late);
+    fold(h, dump, "tlb.accesses", r.tlb.accesses);
+    fold(h, dump, "tlb.misses", r.tlb.misses);
+    fold(h, dump, "branch.branches", r.branch.branches);
+    fold(h, dump, "branch.mispredicts", r.branch.mispredicts);
+    fold(h, dump, "branch.btbMisses", r.branch.btbMisses);
+    if (dump_out)
+        *dump_out = dump.str();
+    return h;
+}
+
+SimOptions
+GoldenCase::options() const
+{
+    SimOptions opts;
+    opts.maxInstructions = kGoldenBudget;
+    opts.pgo = pgo;
+    if (percentileHot > 0)
+        opts.classifier.percentileHot = percentileHot;
+    if (l2SizeKb > 0)
+        opts.hier.l2.sizeBytes = l2SizeKb * 1024;
+    if (l2Assoc > 0)
+        opts.hier.l2.assoc = l2Assoc;
+    if (fdipLookahead > 0)
+        opts.core.fdipLookahead = fdipLookahead;
+    return opts;
+}
+
+const std::vector<GoldenCase> &
+goldenCases()
+{
+    /**
+     * Pinned fingerprints, collected from the pre-optimization engine
+     * (PR 3 baseline; the fig8/fig9 configuration rows were generated
+     * on the pre-batching PR 4 engine).  Regenerate only for
+     * intentional behavior changes: run tests/test_golden with
+     * TRRIP_PRINT_GOLDEN=1 and copy the printed table.
+     */
+    static const std::vector<GoldenCase> cases = {
+        {"python", "SRRIP", true, 0, 0, 0, 0, 0x354f6bb93937f302ull},
+        {"python", "TRRIP-2", true, 0, 0, 0, 0, 0x9ff8d0f96e931894ull},
+        {"clang", "LRU", true, 0, 0, 0, 0, 0x5de744e9e9e7e65bull},
+        {"clang", "TRRIP-1", true, 0, 0, 0, 0, 0x237595874b157a43ull},
+        {"sqlite", "SHiP", true, 0, 0, 0, 0, 0xa40ffba600a4f5e6ull},
+        {"gcc", "DRRIP", false, 0, 0, 0, 0, 0x7b354e706eb46d74ull},
+        {"omnetpp", "BRRIP", true, 0, 0, 0, 0, 0xd25c0f74ab141037ull},
+        {"abseil", "CLIP", true, 0, 0, 0, 0, 0x4f83720389470805ull},
+        {"deepsjeng", "Emissary", true, 0, 0, 0, 0,
+         0xda094574784b19edull},
+        {"rapidjson", "Random", false, 0, 0, 0, 0,
+         0x4c50f5d1cf3b06daull},
+        {"bullet", "SRRIP(bits=3)", true, 0, 0, 0, 0,
+         0x57837c9ada14be9cull},
+        // fig8 hot-threshold configurations (Percentile_hot extremes).
+        {"gcc", "TRRIP-1", true, 0.10, 0, 0, 0,
+         0x3c2c771688db8c19ull},
+        {"sqlite", "TRRIP-2", true, 0.9999, 0, 0, 16,
+         0xc5d2ceaa30d6ace4ull},
+        // fig9 cache-sensitivity configurations (L2 size/assoc).
+        {"omnetpp", "CLIP", true, 0, 256, 0, 0,
+         0x55db4f347df84ea5ull},
+        {"clang", "Emissary", true, 0, 0, 16, 0,
+         0x026c744574ba810dull},
+        {"python", "DRRIP", true, 0, 512, 0, 2,
+         0xc960623690da29ecull},
+    };
+    return cases;
+}
+
+} // namespace trrip

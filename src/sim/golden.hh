@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The engine's golden-fingerprint equivalence table, shared between
+ * the ctest guard (tests/test_golden.cc) and the parallel-throughput
+ * bench (bench/throughput_parallel.cc), which re-verifies the same
+ * 16 tuples through the worker pool so parallel execution is held to
+ * the identical bit-exactness contract as serial.
+ *
+ * Each case runs the full co-design pipeline on a fixed (workload,
+ * policy, seed, budget) tuple and folds every simulation counter --
+ * per-level cache stats, prefetch, TLB, branch, the retired
+ * instruction count and the exact cycle total -- into one FNV-1a
+ * fingerprint pinned in golden.cc.  Any change to these fingerprints
+ * is a simulation-behavior change and must be justified, not just
+ * re-pinned.
+ */
+
+#ifndef TRRIP_SIM_GOLDEN_HH
+#define TRRIP_SIM_GOLDEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace trrip {
+
+/** Budget every golden case simulates (cheap enough for ASan ctest). */
+constexpr InstCount kGoldenBudget = 120'000;
+
+/**
+ * One pinned configuration.  Beyond (workload, policy, pgo), a case
+ * can deviate from the Table 1 defaults along the axes the fig8 /
+ * fig9 sensitivity benches sweep -- the compiler hot threshold, the
+ * L2 geometry -- plus the FDIP lookahead depth, so the guard also
+ * covers configurations that stress the run-ahead window and the
+ * eviction cascade.  A zero value means "leave the default".
+ */
+struct GoldenCase
+{
+    const char *workload;
+    const char *policy;
+    bool pgo;
+    double percentileHot;       //!< fig8 axis; 0 = default.
+    std::uint64_t l2SizeKb;     //!< fig9a axis; 0 = default (128).
+    std::uint32_t l2Assoc;      //!< fig9b axis; 0 = default (8).
+    unsigned fdipLookahead;     //!< Run-ahead depth; 0 = default (8).
+    std::uint64_t expected;
+
+    /** kGoldenBudget SimOptions with this case's deviations applied. */
+    SimOptions options() const;
+};
+
+/** The pinned table (16 tuples). */
+const std::vector<GoldenCase> &goldenCases();
+
+/**
+ * Fingerprint every integer counter plus the exact cycle total; if
+ * @p dump_out is non-null it receives a named counter dump for
+ * mismatch diagnostics.
+ */
+std::uint64_t goldenFingerprint(const SimResult &result,
+                                std::string *dump_out = nullptr);
+
+} // namespace trrip
+
+#endif // TRRIP_SIM_GOLDEN_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Bump-pointer arena allocator for per-worker memory isolation.
+ *
+ * A worker thread that owns an Arena carves all of its long-lived
+ * scratch objects out of chunks no other thread touches, so
+ * concurrently running simulators never share heap cache lines (the
+ * global allocator happily interleaves small blocks from different
+ * threads on one line).  Allocation is a pointer bump; there is no
+ * per-object free.  Memory is reclaimed wholesale with reset(), which
+ * is only legal once every object carved from the arena has been
+ * destroyed -- the WorkerPool calls it when it is provably idle.
+ *
+ * The arena is intentionally single-threaded: exactly one worker may
+ * allocate from it at a time.  Chunks are cache-line aligned and
+ * sized in multiples of the line size so two arenas never split a
+ * line between them.
+ */
+
+#ifndef TRRIP_UTIL_ARENA_HH
+#define TRRIP_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace trrip {
+
+/** Destructive-interference padding unit (conservative constant: the
+ *  standard's hardware_destructive_interference_size triggers ABI
+ *  warnings on GCC and is unavailable on some libc++ builds). */
+constexpr std::size_t kCacheLineBytes = 64;
+
+/** Chunked bump allocator; see file comment for the threading rules. */
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes) :
+        chunkBytes_(roundUp(std::max<std::size_t>(chunk_bytes,
+                                                  kCacheLineBytes),
+                            kCacheLineBytes))
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate @p bytes at @p align (power of two). */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(
+                                    std::max_align_t))
+    {
+        panic_if(align == 0 || (align & (align - 1)) != 0,
+                 "arena alignment ", align, " is not a power of two");
+        std::uintptr_t p = roundUp(cursor_, align);
+        if (p + bytes > limit_) {
+            grow(bytes + align);
+            p = roundUp(cursor_, align);
+        }
+        cursor_ = p + bytes;
+        used_ += bytes;
+        return reinterpret_cast<void *>(p);
+    }
+
+    /** Construct a T in the arena.  The caller owns the lifetime; the
+     *  memory itself is reclaimed only by reset(). */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        void *p = allocate(sizeof(T), alignof(T));
+        return ::new (p) T(std::forward<Args>(args)...);
+    }
+
+    /** Deleter for makeUnique(): runs the destructor, leaves the
+     *  memory to the arena. */
+    struct Destroy
+    {
+        template <typename T>
+        void
+        operator()(T *p) const
+        {
+            if (p)
+                p->~T();
+        }
+    };
+
+    template <typename T>
+    using UniquePtr = std::unique_ptr<T, Destroy>;
+
+    /** make() wrapped so the destructor runs automatically. */
+    template <typename T, typename... Args>
+    UniquePtr<T>
+    makeUnique(Args &&...args)
+    {
+        return UniquePtr<T>(make<T>(std::forward<Args>(args)...));
+    }
+
+    /**
+     * Recycle every chunk (the first is kept and re-bumped from its
+     * start, so a steady-state worker stops calling the system
+     * allocator entirely).  Legal only when all carved objects are
+     * dead.
+     */
+    void
+    reset()
+    {
+        if (chunks_.size() > 1)
+            chunks_.resize(1);
+        if (chunks_.empty()) {
+            cursor_ = limit_ = 0;
+            reserved_ = 0;
+        } else {
+            cursor_ = reinterpret_cast<std::uintptr_t>(
+                chunks_.front().ptr.get());
+            limit_ = cursor_ + chunks_.front().size;
+            reserved_ = chunks_.front().size;
+        }
+        used_ = 0;
+    }
+
+    /** Live bytes handed out since construction / the last reset(). */
+    std::size_t bytesUsed() const { return used_; }
+
+    /** Bytes held in chunks (the arena's footprint). */
+    std::size_t bytesReserved() const { return reserved_; }
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    static std::uintptr_t
+    roundUp(std::uintptr_t v, std::size_t align)
+    {
+        return (v + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+
+    struct AlignedFree
+    {
+        void
+        operator()(std::byte *p) const
+        {
+            ::operator delete(p, std::align_val_t(kCacheLineBytes));
+        }
+    };
+
+    using ChunkPtr = std::unique_ptr<std::byte, AlignedFree>;
+
+    struct Chunk
+    {
+        ChunkPtr ptr;
+        std::size_t size;
+    };
+
+    void
+    grow(std::size_t min_bytes)
+    {
+        // Oversized requests get a dedicated chunk (still reclaimed,
+        // like every later chunk, by reset()).
+        const std::size_t size =
+            roundUp(std::max(min_bytes, chunkBytes_), kCacheLineBytes);
+        ChunkPtr chunk(static_cast<std::byte *>(
+            ::operator new(size, std::align_val_t(kCacheLineBytes))));
+        cursor_ = reinterpret_cast<std::uintptr_t>(chunk.get());
+        limit_ = cursor_ + size;
+        chunks_.push_back({std::move(chunk), size});
+        reserved_ += size;
+    }
+
+    std::size_t chunkBytes_;
+    std::uintptr_t cursor_ = 0;
+    std::uintptr_t limit_ = 0;
+    std::size_t used_ = 0;
+    std::size_t reserved_ = 0;
+    std::vector<Chunk> chunks_;
+};
+
+/**
+ * STL-compatible adapter so standard containers can live in an arena
+ * (deallocate is a no-op; the arena reclaims on reset()).
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena &arena) : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) :
+        arena_(other.arena())
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *, std::size_t) {}
+
+    Arena *arena() const { return arena_; }
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &other) const
+    {
+        return arena_ == other.arena();
+    }
+
+    template <typename U>
+    bool
+    operator!=(const ArenaAllocator<U> &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    Arena *arena_;
+};
+
+} // namespace trrip
+
+#endif // TRRIP_UTIL_ARENA_HH

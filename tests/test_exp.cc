@@ -7,11 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
+#include "exp/pool.hh"
 #include "exp/runner.hh"
 #include "exp/sink.hh"
 #include "workloads/builder.hh"
@@ -28,6 +35,52 @@ tinySpec()
     spec.policies = {"SRRIP", "TRRIP-1", "CLIP"};
     spec.options.maxInstructions = 200000;
     return spec;
+}
+
+exp::ExperimentSpec
+secondSpec()
+{
+    exp::ExperimentSpec spec;
+    spec.name = "test_grid_b";
+    spec.workloads = {"gcc"};
+    spec.policies = {"LRU", "SRRIP"};
+    spec.options.maxInstructions = 150000;
+    return spec;
+}
+
+void
+expectIdentical(const exp::ExperimentResults &a,
+                const exp::ExperimentResults &b)
+{
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+    for (std::size_t i = 0; i < a.cells().size(); ++i) {
+        const auto &ra = a.cells()[i];
+        const auto &rb = b.cells()[i];
+        EXPECT_EQ(ra.workload, rb.workload);
+        EXPECT_EQ(ra.policy, rb.policy);
+        ASSERT_EQ(ra.valid, rb.valid);
+        if (!ra.valid)
+            continue;
+        EXPECT_EQ(ra.result().instructions, rb.result().instructions);
+        EXPECT_EQ(ra.result().cycles, rb.result().cycles);
+        EXPECT_EQ(ra.result().l2.demandMisses,
+                  rb.result().l2.demandMisses);
+        EXPECT_EQ(ra.metrics, rb.metrics);
+    }
+}
+
+// Reads the kernel's live thread count for this process; -1 when
+// /proc is unavailable.
+int
+processThreadCount()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0)
+            return std::atoi(line.c_str() + 8);
+    }
+    return -1;
 }
 
 TEST(ExperimentRunner, FourThreadsBitIdenticalToOne)
@@ -52,6 +105,105 @@ TEST(ExperimentRunner, FourThreadsBitIdenticalToOne)
         EXPECT_EQ(ra.result().l2InstMpki, rb.result().l2InstMpki);
         EXPECT_EQ(ra.metrics, rb.metrics);
     }
+}
+
+TEST(ExperimentRunner, SubmittedSpecsBitIdenticalAcrossJobCounts)
+{
+    // Several specs in flight on one pool, with cell-granularity
+    // stealing across them, must still give bit-identical results at
+    // every thread count -- including waits in reverse order.
+    exp::ExperimentRunner serial(1);
+    const auto base_a = serial.run(tinySpec());
+    const auto base_b = serial.run(secondSpec());
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        exp::ExperimentRunner runner(jobs);
+        auto pending_a = runner.submit(tinySpec());
+        auto pending_b = runner.submit(secondSpec());
+        const auto b = pending_b.wait();
+        const auto a = pending_a.wait();
+        expectIdentical(a, base_a);
+        expectIdentical(b, base_b);
+    }
+}
+
+TEST(ExperimentRunner, PoolPersistsAcrossRunsWithoutThreadLeak)
+{
+    const int before = processThreadCount();
+    if (before < 0)
+        GTEST_SKIP() << "/proc/self/status not available";
+    {
+        exp::ExperimentRunner runner(4);
+        const auto first = runner.run(tinySpec());
+        const int after_first = processThreadCount();
+        // The pool is spawned once, lazily, at the first run.
+        EXPECT_EQ(after_first, before + 4);
+        const auto second = runner.run(tinySpec());
+        // ... and reused: the second run spawns nothing.
+        EXPECT_EQ(processThreadCount(), after_first);
+        expectIdentical(first, second);
+    }
+    // Destroying the runner joins every worker.
+    EXPECT_EQ(processThreadCount(), before);
+}
+
+TEST(ExperimentRunner, CellsSeeWorkerIdsAndArenas)
+{
+    exp::ExperimentSpec spec;
+    spec.name = "worker_ids";
+    spec.workloads = {"w"};
+    spec.policies = {"a", "b", "c", "d", "e", "f"};
+    std::mutex mu;
+    std::set<unsigned> workers;
+    std::atomic<int> arena_cells{0};
+    spec.runCell = [&](const exp::CellContext &ctx) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            workers.insert(ctx.worker);
+        }
+        if (ctx.arena != nullptr &&
+            *ctx.arena->make<int>(42) == 42)
+            arena_cells.fetch_add(1);
+        return exp::CellOutcome{};
+    };
+    exp::ExperimentRunner runner(2);
+    runner.run(spec);
+    EXPECT_EQ(arena_cells.load(), 6);
+    for (unsigned w : workers)
+        EXPECT_LT(w, 2u);
+}
+
+TEST(WorkerPool, RunsEveryItemAndGatesArenaReset)
+{
+    exp::WorkerPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+    std::atomic<int> sum{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    auto batch = pool.submit(
+        16, [&](std::size_t item, exp::WorkerContext &wc) {
+            EXPECT_LT(wc.worker, 3u);
+            EXPECT_NE(wc.arena, nullptr);
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] { return release; });
+            }
+            sum.fetch_add(static_cast<int>(item));
+        });
+    // Workers are parked inside items: the batch is live, so arena
+    // memory must not be recycled underneath them.
+    EXPECT_FALSE(batch->done());
+    EXPECT_FALSE(pool.resetArenasIfIdle());
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    batch->wait();
+    EXPECT_TRUE(batch->done());
+    EXPECT_EQ(sum.load(), 120); // 0 + 1 + ... + 15.
+    EXPECT_TRUE(pool.resetArenasIfIdle());
 }
 
 TEST(ExperimentRunner, GridCollectsEachWorkloadProfileOnce)

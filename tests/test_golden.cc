@@ -3,20 +3,15 @@
  * Golden-fingerprint equivalence guard for the per-access simulation
  * engine.
  *
- * Each case runs the full co-design pipeline on a fixed (workload,
- * policy, seed, budget) tuple and folds every simulation counter --
- * per-level cache stats, prefetch, TLB, branch, the retired
- * instruction count and the exact cycle total -- into one FNV-1a
- * fingerprint that is pinned here.  Hot-path refactors (shift/mask
- * geometry, packed tag arrays, flat maps, window ring buffers, ...)
- * must keep simulated behavior bit-identical, so any change to these
- * fingerprints is a simulation-behavior change and must be justified,
- * not just re-pinned.
- *
- * On mismatch the failure message contains the full counter dump and
- * the actual fingerprint.  The cases are deliberately cheap (120k
- * instructions each) so the guard runs in every ctest invocation,
- * including the Debug + sanitizer jobs.
+ * The pinned table and the counter-folding fingerprint live in
+ * src/sim/golden.{hh,cc} so bench/throughput_parallel can re-verify
+ * the same 16 tuples through the worker pool; this test is the ctest
+ * guard that runs them serially in every configuration, including
+ * Debug + sanitizers.  Hot-path refactors must keep simulated
+ * behavior bit-identical, so any change to the fingerprints is a
+ * simulation-behavior change and must be justified, not just
+ * re-pinned.  On mismatch the failure message contains the full
+ * counter dump and the actual fingerprint.
  */
 
 #include <gtest/gtest.h>
@@ -24,165 +19,24 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <sstream>
 #include <string>
 
 #include "core/codesign.hh"
+#include "sim/golden.hh"
 #include "workloads/proxies.hh"
 
 namespace trrip {
 namespace {
 
-constexpr InstCount kGoldenBudget = 120'000;
-
-/** Fold one 64-bit value into an FNV-1a hash, byte by byte. */
-std::uint64_t
-fnv1a(std::uint64_t h, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Hash + log one named counter. */
-void
-fold(std::uint64_t &h, std::ostringstream &dump, const char *name,
-     std::uint64_t v)
-{
-    h = fnv1a(h, v);
-    dump << "  " << name << " = " << v << "\n";
-}
-
-void
-foldCache(std::uint64_t &h, std::ostringstream &dump, const char *level,
-          const CacheStats &s)
-{
-    const auto tag = [&](const char *field) {
-        return std::string(level) + "." + field;
-    };
-    fold(h, dump, tag("demandAccesses").c_str(), s.demandAccesses);
-    fold(h, dump, tag("demandMisses").c_str(), s.demandMisses);
-    fold(h, dump, tag("instDemandAccesses").c_str(),
-         s.instDemandAccesses);
-    fold(h, dump, tag("instDemandMisses").c_str(), s.instDemandMisses);
-    fold(h, dump, tag("dataDemandAccesses").c_str(),
-         s.dataDemandAccesses);
-    fold(h, dump, tag("dataDemandMisses").c_str(), s.dataDemandMisses);
-    fold(h, dump, tag("prefetchFills").c_str(), s.prefetchFills);
-    fold(h, dump, tag("fills").c_str(), s.fills);
-    fold(h, dump, tag("evictions").c_str(), s.evictions);
-    fold(h, dump, tag("writebacks").c_str(), s.writebacks);
-    fold(h, dump, tag("invalidations").c_str(), s.invalidations);
-    fold(h, dump, tag("instEvictions").c_str(), s.instEvictions);
-    fold(h, dump, tag("dataEvictions").c_str(), s.dataEvictions);
-    for (std::size_t t = 0; t < s.evictionsByTemp.size(); ++t) {
-        fold(h, dump,
-             (tag("evictionsByTemp.") + std::to_string(t)).c_str(),
-             s.evictionsByTemp[t]);
-    }
-}
-
-/** Fingerprint every integer counter plus the exact cycle total. */
-std::uint64_t
-fingerprint(const SimResult &r, std::string &dump_out)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    std::ostringstream dump;
-    fold(h, dump, "instructions", r.instructions);
-    std::uint64_t cycle_bits = 0;
-    static_assert(sizeof(cycle_bits) == sizeof(r.cycles));
-    std::memcpy(&cycle_bits, &r.cycles, sizeof(cycle_bits));
-    fold(h, dump, "cycles(bits)", cycle_bits);
-    foldCache(h, dump, "l1i", r.l1i);
-    foldCache(h, dump, "l1d", r.l1d);
-    foldCache(h, dump, "l2", r.l2);
-    foldCache(h, dump, "slc", r.slc);
-    fold(h, dump, "prefetch.issued", r.prefetch.issued);
-    fold(h, dump, "prefetch.covered", r.prefetch.covered);
-    fold(h, dump, "prefetch.late", r.prefetch.late);
-    fold(h, dump, "tlb.accesses", r.tlb.accesses);
-    fold(h, dump, "tlb.misses", r.tlb.misses);
-    fold(h, dump, "branch.branches", r.branch.branches);
-    fold(h, dump, "branch.mispredicts", r.branch.mispredicts);
-    fold(h, dump, "branch.btbMisses", r.branch.btbMisses);
-    dump_out = dump.str();
-    return h;
-}
-
-/**
- * One pinned configuration.  Beyond (workload, policy, pgo), a case
- * can deviate from the Table 1 defaults along the axes the fig8 /
- * fig9 sensitivity benches sweep -- the compiler hot threshold, the
- * L2 geometry -- plus the FDIP lookahead depth, so the guard also
- * covers configurations that stress the run-ahead window and the
- * eviction cascade.  A zero value means "leave the default".
- */
-struct GoldenCase
-{
-    const char *workload;
-    const char *policy;
-    bool pgo;
-    double percentileHot;       //!< fig8 axis; 0 = default.
-    std::uint64_t l2SizeKb;     //!< fig9a axis; 0 = default (128).
-    std::uint32_t l2Assoc;      //!< fig9b axis; 0 = default (8).
-    unsigned fdipLookahead;     //!< Run-ahead depth; 0 = default (8).
-    std::uint64_t expected;
-};
-
-/**
- * Pinned fingerprints, collected from the pre-optimization engine
- * (PR 3 baseline; the fig8/fig9 configuration rows were generated on
- * the pre-batching PR 4 engine).  Regenerate only for intentional
- * behavior changes: run with TRRIP_PRINT_GOLDEN=1 and copy the
- * printed table.
- */
-const GoldenCase kGoldenCases[] = {
-    {"python", "SRRIP", true, 0, 0, 0, 0, 0x354f6bb93937f302ull},
-    {"python", "TRRIP-2", true, 0, 0, 0, 0, 0x9ff8d0f96e931894ull},
-    {"clang", "LRU", true, 0, 0, 0, 0, 0x5de744e9e9e7e65bull},
-    {"clang", "TRRIP-1", true, 0, 0, 0, 0, 0x237595874b157a43ull},
-    {"sqlite", "SHiP", true, 0, 0, 0, 0, 0xa40ffba600a4f5e6ull},
-    {"gcc", "DRRIP", false, 0, 0, 0, 0, 0x7b354e706eb46d74ull},
-    {"omnetpp", "BRRIP", true, 0, 0, 0, 0, 0xd25c0f74ab141037ull},
-    {"abseil", "CLIP", true, 0, 0, 0, 0, 0x4f83720389470805ull},
-    {"deepsjeng", "Emissary", true, 0, 0, 0, 0,
-     0xda094574784b19edull},
-    {"rapidjson", "Random", false, 0, 0, 0, 0,
-     0x4c50f5d1cf3b06daull},
-    {"bullet", "SRRIP(bits=3)", true, 0, 0, 0, 0,
-     0x57837c9ada14be9cull},
-    // fig8 hot-threshold configurations (Percentile_hot extremes).
-    {"gcc", "TRRIP-1", true, 0.10, 0, 0, 0, 0x3c2c771688db8c19ull},
-    {"sqlite", "TRRIP-2", true, 0.9999, 0, 0, 16,
-     0xc5d2ceaa30d6ace4ull},
-    // fig9 cache-sensitivity configurations (L2 size/assoc sweeps).
-    {"omnetpp", "CLIP", true, 0, 256, 0, 0, 0x55db4f347df84ea5ull},
-    {"clang", "Emissary", true, 0, 0, 16, 0, 0x026c744574ba810dull},
-    {"python", "DRRIP", true, 0, 512, 0, 2, 0xc960623690da29ecull},
-};
-
 TEST(Golden, EngineFingerprintsAreBitIdentical)
 {
     const bool print = std::getenv("TRRIP_PRINT_GOLDEN") != nullptr;
-    for (const GoldenCase &c : kGoldenCases) {
+    for (const GoldenCase &c : goldenCases()) {
         CoDesignPipeline pipeline(proxyParams(c.workload));
-        SimOptions opts;
-        opts.maxInstructions = kGoldenBudget;
-        opts.pgo = c.pgo;
-        if (c.percentileHot > 0)
-            opts.classifier.percentileHot = c.percentileHot;
-        if (c.l2SizeKb > 0)
-            opts.hier.l2.sizeBytes = c.l2SizeKb * 1024;
-        if (c.l2Assoc > 0)
-            opts.hier.l2.assoc = c.l2Assoc;
-        if (c.fdipLookahead > 0)
-            opts.core.fdipLookahead = c.fdipLookahead;
-        const RunArtifacts art = pipeline.run(c.policy, opts);
+        const RunArtifacts art = pipeline.run(c.policy, c.options());
         std::string dump;
-        const std::uint64_t fp = fingerprint(art.result, dump);
+        const std::uint64_t fp =
+            goldenFingerprint(art.result, &dump);
         if (print) {
             std::printf("    {\"%s\", \"%s\", %s, %g, %llu, %u, %u, "
                         "0x%016llxull},\n",

@@ -1,37 +1,105 @@
 #!/usr/bin/env python3
-"""Fail when the throughput sidecar's total Minstr/s is below a floor.
+"""Fail when a PERF sidecar's throughput falls below its floors.
 
-Usage: check_perf_floor.py PERF_throughput.json FLOOR
+Usage: check_perf_floor.py SIDECAR.json [FLOOR]
 
-Reads the ``total.minstr_per_sec`` field of the PERF sidecar written
-by ``bench/throughput`` and exits non-zero when it is below FLOOR.
-Used by the release-perf CI job as a coarse perf-regression tripwire:
-the floor must sit well below the measured baseline for the runner
-class, because short-budget CI runs on shared runners are noisy.
+Checks, in order (each only when the sidecar carries the field):
+
+* ``total.minstr_per_sec >= FLOOR`` -- the serial floor positional
+  argument used by bench/throughput's sidecar (omit FLOOR to skip).
+* ``aggregate.minstr_per_sec >= $TRRIP_AGG_FLOOR`` -- the parallel
+  aggregate floor for bench/throughput_parallel's sidecar.
+* ``scaling.efficiency >= $TRRIP_SCALING_FLOOR`` -- minimum parallel
+  scaling efficiency (aggregate / (serial * workers), in [0, 1]).
+* ``golden_fingerprints.matched == golden_fingerprints.total`` and
+  ``deterministic == true`` -- unconditional when present: a perf
+  number measured over wrong simulation behavior is meaningless.
+
+Used by the release-perf CI jobs as coarse perf-regression tripwires:
+every floor must sit well below the measured baseline for the runner
+class, because short-budget CI runs on shared runners are noisy, and
+the scaling floor only means anything on a >= 4-core runner (set
+TRRIP_SCALING_FLOOR there only).
 """
 
 import json
+import os
 import sys
 
 
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
-    path, floor_text = sys.argv[1], sys.argv[2]
-    floor = float(floor_text)
+    path = sys.argv[1]
+    floor = float(sys.argv[2]) if len(sys.argv) == 3 else None
     with open(path, encoding="utf-8") as f:
         sidecar = json.load(f)
-    total = sidecar["total"]["minstr_per_sec"]
-    print(f"total simulated throughput: {total:.2f} Minstr/s "
-          f"(floor {floor:.2f})")
-    if total < floor:
-        print(f"FAIL: {total:.2f} Minstr/s is below the "
-              f"{floor:.2f} Minstr/s floor -- the engine got slower; "
-              "find the regression instead of lowering the floor.",
-              file=sys.stderr)
-        return 1
-    return 0
+
+    status = 0
+
+    golden = sidecar.get("golden_fingerprints")
+    if golden is not None:
+        matched, total = golden["matched"], golden["total"]
+        print(f"golden fingerprints: {matched}/{total} matched")
+        if matched != total:
+            status |= fail(
+                f"only {matched}/{total} golden fingerprints matched "
+                "-- parallel execution changed simulation behavior.")
+    if sidecar.get("deterministic") is False:
+        status |= fail("the parallel pass diverged from the serial "
+                       "pass -- scheduling leaked into simulation.")
+
+    if floor is not None and "total" in sidecar:
+        total = sidecar["total"]["minstr_per_sec"]
+        print(f"total simulated throughput: {total:.2f} Minstr/s "
+              f"(floor {floor:.2f})")
+        if total < floor:
+            status |= fail(
+                f"{total:.2f} Minstr/s is below the {floor:.2f} "
+                "Minstr/s floor -- the engine got slower; find the "
+                "regression instead of lowering the floor.")
+
+    agg_floor = os.environ.get("TRRIP_AGG_FLOOR")
+    if agg_floor:
+        if "aggregate" not in sidecar:
+            status |= fail("TRRIP_AGG_FLOOR set but the sidecar has "
+                           "no aggregate block.")
+        else:
+            agg = sidecar["aggregate"]["minstr_per_sec"]
+            print(f"aggregate simulated throughput: {agg:.2f} "
+                  f"Minstr/s (floor {float(agg_floor):.2f})")
+            if agg < float(agg_floor):
+                status |= fail(
+                    f"{agg:.2f} aggregate Minstr/s is below the "
+                    f"{float(agg_floor):.2f} floor -- the parallel "
+                    "path got slower; find the regression instead of "
+                    "lowering the floor.")
+
+    eff_floor = os.environ.get("TRRIP_SCALING_FLOOR")
+    if eff_floor:
+        if "scaling" not in sidecar:
+            status |= fail("TRRIP_SCALING_FLOOR set but the sidecar "
+                           "has no scaling block.")
+        else:
+            eff = sidecar["scaling"]["efficiency"]
+            workers = sidecar["scaling"].get("workers", 0)
+            print(f"scaling efficiency: {eff:.3f} on {workers} "
+                  f"workers (floor {float(eff_floor):.3f})")
+            if eff < float(eff_floor):
+                status |= fail(
+                    f"scaling efficiency {eff:.3f} is below the "
+                    f"{float(eff_floor):.3f} floor -- workers are "
+                    "contending (false sharing, lock convoys, or an "
+                    "unbalanced grid); find the contention instead "
+                    "of lowering the floor.")
+
+    return status
 
 
 if __name__ == "__main__":
