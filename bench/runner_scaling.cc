@@ -11,12 +11,20 @@
  * The combined speedup of (3) over (1) is superlinear in cores when
  * profile reuse removes the per-cell instrumented run.
  *
+ * A saturation sweep follows: the same grid submitted k times
+ * concurrently (k = 1, 2, 4, 8) to one warm TRRIP_JOBS-wide runner,
+ * reporting cells/second per in-flight count.  submit() is
+ * non-blocking and cells steal across specs, so cells/sec should
+ * plateau once the in-flight work covers the pool -- the number a
+ * fleet scheduler needs to pick its specs-per-host.
+ *
  * Timing is machine-dependent, so besides the printed table the
  * rows go to a PERF_runner_scaling.json sidecar (TRRIP_RESULTS_DIR)
  * making the orchestration-layer speedup machine-checkable alongside
  * the throughput sidecars.  BENCH_* files never carry timing.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -109,6 +117,47 @@ main()
                 "run; the pool then scales the remaining evaluation "
                 "runs across cores.\n");
 
+    // --- Saturation sweep: k grids in flight on one warm runner. ---
+    banner("Submission saturation (cells/second vs in-flight grids)");
+    struct SatRow
+    {
+        unsigned inFlight;
+        std::size_t cells;
+        double wallSeconds;
+        double cellsPerSec;
+    };
+    std::vector<SatRow> saturation;
+    {
+        ExperimentRunner runner(0);
+        // Warm the profile cache so the sweep times evaluation runs,
+        // not first-touch profile collection.
+        runner.run(spec);
+        for (const unsigned k : {1u, 2u, 4u, 8u}) {
+            std::vector<PendingRun> pending;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (unsigned i = 0; i < k; ++i)
+                pending.push_back(runner.submit(spec));
+            for (PendingRun &run : pending)
+                run.wait();
+            const double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            SatRow row;
+            row.inFlight = k;
+            row.cells = k * spec.cellCount();
+            row.wallSeconds = wall;
+            row.cellsPerSec =
+                wall > 0.0 ? static_cast<double>(row.cells) / wall
+                           : 0.0;
+            saturation.push_back(row);
+            std::printf("%2u grid(s) in flight  %3zu cells  %6.2fs "
+                        "wall  %7.2f cells/s\n",
+                        row.inFlight, row.cells, row.wallSeconds,
+                        row.cellsPerSec);
+        }
+    }
+
     const std::string path = sidecarPath();
     std::ofstream out(path);
     fatal_if(!out, "cannot open ", path, " for writing");
@@ -131,6 +180,20 @@ main()
                       static_cast<unsigned long long>(row.collections),
                       static_cast<unsigned long long>(row.hits),
                       i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ],\n";
+    out << "  \"saturation\": [\n";
+    for (std::size_t i = 0; i < saturation.size(); ++i) {
+        const SatRow &row = saturation[i];
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"in_flight\": %u, \"cells\": %zu, "
+                      "\"wall_seconds\": %.6f, \"cells_per_sec\": "
+                      "%.3f}%s\n",
+                      row.inFlight, row.cells, row.wallSeconds,
+                      row.cellsPerSec,
+                      i + 1 < saturation.size() ? "," : "");
         out << buf;
     }
     out << "  ]\n}\n";

@@ -46,11 +46,35 @@ ProfileCache::get(const SyntheticWorkload &workload,
     return entry->profile;
 }
 
+std::shared_ptr<const trace::TraceIndex>
+ProfileCache::traceIndex(const std::string &path)
+{
+    std::shared_ptr<TraceEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = traceEntries_[path];
+        if (!slot)
+            slot = std::make_shared<TraceEntry>();
+        entry = slot;
+    }
+    bool collected = false;
+    std::call_once(entry->once, [&] {
+        entry->index = std::make_shared<const trace::TraceIndex>(
+            trace::buildTraceIndex(path));
+        collected = true;
+        collections_.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!collected)
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry->index;
+}
+
 void
 ProfileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    traceEntries_.clear();
     collections_.store(0, std::memory_order_relaxed);
     hits_.store(0, std::memory_order_relaxed);
 }

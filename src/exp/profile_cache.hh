@@ -21,6 +21,7 @@
 #include <string>
 
 #include "sim/simulator.hh"
+#include "trace/replay.hh"
 #include "util/arena.hh"
 
 namespace trrip::exp {
@@ -39,6 +40,17 @@ class ProfileCache
     std::shared_ptr<const Profile>
     get(const SyntheticWorkload &workload,
         InstCount profile_instructions);
+
+    /**
+     * The shared TraceIndex for the trace file at @p path, built on
+     * first use.  A trace's index -- blocks, one-pass profile, pseudo
+     * program -- is the trace analogue of a training profile: a pure
+     * function of the file, independent of policy and configuration,
+     * so a grid needs exactly one pre-pass per trace.  Counted in the
+     * same collections()/hits() statistics.
+     */
+    std::shared_ptr<const trace::TraceIndex>
+    traceIndex(const std::string &path);
 
     /** Instrumented runs actually executed (one per distinct key). */
     std::uint64_t
@@ -64,11 +76,18 @@ class ProfileCache
         std::shared_ptr<const Profile> profile;
     };
 
+    struct TraceEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const trace::TraceIndex> index;
+    };
+
     static std::string key(const SyntheticWorkload &workload,
                            InstCount profile_instructions);
 
     std::mutex mutex_;
     std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::map<std::string, std::shared_ptr<TraceEntry>> traceEntries_;
     // Statistics only (no ordering is derived from them), bumped from
     // every worker at once: relaxed, and each on its own cache line
     // so a hit on one core never invalidates a collection elsewhere.

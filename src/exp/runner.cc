@@ -8,6 +8,7 @@
 
 #include "core/policy_registry.hh"
 #include "exp/sink.hh"
+#include "trace/replay.hh"
 #include "util/logging.hh"
 
 namespace trrip::exp {
@@ -140,6 +141,10 @@ struct RunState
     void
     ensurePipeline(std::size_t workload, WorkerContext &wc)
     {
+        // Trace workloads have no synthesis pipeline; their shared
+        // state (the TraceIndex) lives in the ProfileCache instead.
+        if (trace::isTraceName(spec.workloads[workload]))
+            return;
         std::call_once(buildOnce[workload], [&] {
             pipelines[workload] =
                 wc.arena->makeUnique<CoDesignPipeline>(
@@ -197,6 +202,17 @@ struct RunState
         CellOutcome outcome;
         if (spec.runCell) {
             outcome = spec.runCell(ctx);
+        } else if (trace::isTraceName(ctx.workload)) {
+            // trace:<path> cells replay the file instead of running a
+            // proxy; the policy-independent pre-pass index is shared
+            // across the grid exactly like a training profile.
+            const std::string path = trace::tracePathOf(ctx.workload);
+            std::shared_ptr<const trace::TraceIndex> index;
+            if (reuseProfiles)
+                index = profiles->traceIndex(path);
+            outcome.artifacts = trace::runTrace(
+                path, ctx.policy, ctx.options, std::move(index));
+            outcome.metrics = defaultMetrics(outcome.artifacts.result);
         } else {
             panic_if(!ctx.pipeline, "spec '", spec.name,
                      "' has no workloads and no runCell");

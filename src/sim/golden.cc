@@ -143,4 +143,30 @@ goldenCases()
     return cases;
 }
 
+SimOptions
+TraceGoldenCase::options() const
+{
+    SimOptions opts;
+    opts.maxInstructions = kGoldenBudget;
+    opts.pgo = pgo;
+    return opts;
+}
+
+const std::vector<TraceGoldenCase> &
+traceGoldenCases()
+{
+    /**
+     * Pinned trace-replay fingerprints over the deterministic
+     * mini-trace pack.  Regenerate like the table above: run
+     * tests/test_golden with TRRIP_PRINT_GOLDEN=1 and copy the
+     * printed rows.
+     */
+    static const std::vector<TraceGoldenCase> cases = {
+        {"dispatch", "TRRIP-2", true, 0x9df1d2177afbb975ull},
+        {"dispatch", "LRU", false, 0x01c4500f86e35d71ull},
+        {"streaming", "SRRIP", true, 0x0114e4e0128b7128ull},
+    };
+    return cases;
+}
+
 } // namespace trrip

@@ -56,6 +56,28 @@ struct GoldenCase
 const std::vector<GoldenCase> &goldenCases();
 
 /**
+ * One pinned trace-replay configuration.  `trace` names a mini-pack
+ * trace (src/trace/generate.hh); callers generate the pack and
+ * resolve the name to a path themselves (this table must not depend
+ * on where the pack was written), then replay via trace::runTrace at
+ * kGoldenBudget.  The streaming trace's gather cluster keeps the
+ * block-split seam (kBBEventDataSlots) inside the pinned behavior.
+ */
+struct TraceGoldenCase
+{
+    const char *trace;      //!< Mini-pack trace name, not a path.
+    const char *policy;     //!< L2 policy spec.
+    bool pgo;
+    std::uint64_t expected;
+
+    /** kGoldenBudget SimOptions for this case. */
+    SimOptions options() const;
+};
+
+/** The pinned trace-replay table. */
+const std::vector<TraceGoldenCase> &traceGoldenCases();
+
+/**
  * Fingerprint every integer counter plus the exact cycle total; if
  * @p dump_out is non-null it receives a named counter dump for
  * mismatch diagnostics.

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic mini-trace pack: small, fully synthetic ChampSim-style
+ * traces generated in-repo, so trace-replay tests, goldens and CI need
+ * no downloads.  Generation is a pure function of the trace name --
+ * fixed Rng seeds, no time or environment inputs -- and the container
+ * writer is append-only, so regenerating a trace produces a
+ * byte-identical file (pinned by tests/test_trace.cc).
+ *
+ * The pack (see generate.cc for the exact shapes):
+ *  - "dispatch": an interpreter-style dispatcher making Zipf-weighted
+ *    indirect calls into 64 handlers -- a hot head and a long warm
+ *    tail, the shape TRRIP's temperature classes are built for.
+ *  - "streaming": a contiguous 40-block loop of sequential loads with
+ *    a rare cold detour, plus one gather cluster whose instructions
+ *    carry more data accesses than BBEvent::data holds, pinning the
+ *    runtime block-split path.
+ */
+
+#ifndef TRRIP_TRACE_GENERATE_HH
+#define TRRIP_TRACE_GENERATE_HH
+
+#include <string>
+#include <vector>
+
+namespace trrip::trace {
+
+/** Names in the mini-trace pack, in generation order. */
+const std::vector<std::string> &miniTraceNames();
+
+/** `<dir>/<name>.trrtrc`. */
+std::string miniTracePath(const std::string &dir,
+                          const std::string &name);
+
+/**
+ * Write the named mini trace to @p path (byte-identical on every
+ * invocation).  Fatal on an unknown name or an unwritable path.
+ */
+void generateMiniTrace(const std::string &name,
+                       const std::string &path);
+
+/**
+ * Write the whole pack under @p dir (created if missing); returns the
+ * file paths in miniTraceNames() order.
+ */
+std::vector<std::string> generateMiniTracePack(const std::string &dir);
+
+} // namespace trrip::trace
+
+#endif // TRRIP_TRACE_GENERATE_HH

@@ -1,0 +1,236 @@
+#include "trace/reader.hh"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if TRRIP_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
+namespace trrip::trace {
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    open(path);
+    reset();
+}
+
+TraceReader::~TraceReader()
+{
+    unmap();
+}
+
+TraceReader::TraceReader(TraceReader &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+TraceReader &
+TraceReader::operator=(TraceReader &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    unmap();
+    path_ = std::move(other.path_);
+    error_ = std::move(other.error_);
+    map_ = other.map_;
+    mapBytes_ = other.mapBytes_;
+    header_ = other.header_;
+    dir_ = other.dir_;
+    cursor_ = other.cursor_;
+    chunkEnd_ = other.chunkEnd_;
+    chunkIndex_ = other.chunkIndex_;
+    chunkBuffer_ = std::move(other.chunkBuffer_);
+    other.map_ = nullptr;
+    other.mapBytes_ = 0;
+    other.dir_ = nullptr;
+    other.cursor_ = other.chunkEnd_ = nullptr;
+    return *this;
+}
+
+void
+TraceReader::unmap()
+{
+    if (map_) {
+        ::munmap(const_cast<std::uint8_t *>(map_), mapBytes_);
+        map_ = nullptr;
+        mapBytes_ = 0;
+    }
+}
+
+void
+TraceReader::fail(std::string message)
+{
+    if (error_.empty())
+        error_ = "trace '" + path_ + "': " + std::move(message);
+    unmap();
+    dir_ = nullptr;
+}
+
+void
+TraceReader::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        fail("cannot open for reading");
+        return;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail("fstat failed");
+        return;
+    }
+    mapBytes_ = static_cast<std::size_t>(st.st_size);
+    if (mapBytes_ < sizeof(TraceHeader)) {
+        ::close(fd);
+        fail("truncated header (file smaller than 64 bytes)");
+        return;
+    }
+    void *m = ::mmap(nullptr, mapBytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (m == MAP_FAILED) {
+        map_ = nullptr;
+        fail("mmap failed");
+        return;
+    }
+    map_ = static_cast<const std::uint8_t *>(m);
+
+    // Validate everything against the file size before any payload
+    // access; a corrupt or truncated file must fail here, not in
+    // next().
+    std::memcpy(&header_, map_, sizeof(header_));
+    if (header_.magic != kTraceMagic) {
+        fail("bad magic (not a trrip trace file)");
+        return;
+    }
+    if (header_.version != kTraceVersion) {
+        fail("unsupported version " +
+             std::to_string(header_.version));
+        return;
+    }
+    if (header_.codec > static_cast<std::uint32_t>(TraceCodec::Zstd)) {
+        fail("unknown codec " + std::to_string(header_.codec));
+        return;
+    }
+#if !TRRIP_HAVE_ZSTD
+    if (header_.codec ==
+        static_cast<std::uint32_t>(TraceCodec::Zstd)) {
+        fail("zstd-compressed trace but compiled without zstd "
+             "support (TRRIP_HAVE_ZSTD)");
+        return;
+    }
+#endif
+    if (header_.recordCount == 0) {
+        if (header_.chunkCount != 0)
+            fail("empty trace with a non-empty chunk directory");
+        return;
+    }
+    if (header_.chunkRecords == 0) {
+        fail("zero records per chunk");
+        return;
+    }
+    const std::uint64_t expected_chunks =
+        (header_.recordCount + header_.chunkRecords - 1) /
+        header_.chunkRecords;
+    if (header_.chunkCount != expected_chunks) {
+        fail("chunk count does not match the record count");
+        return;
+    }
+    const std::uint64_t dir_bytes =
+        static_cast<std::uint64_t>(header_.chunkCount) *
+        sizeof(TraceChunk);
+    if (header_.dirOffset < sizeof(TraceHeader) ||
+        header_.dirOffset > mapBytes_ ||
+        dir_bytes > mapBytes_ - header_.dirOffset) {
+        fail("chunk directory out of bounds");
+        return;
+    }
+    if (header_.dirOffset % alignof(TraceChunk) != 0) {
+        fail("misaligned chunk directory");
+        return;
+    }
+    dir_ = reinterpret_cast<const TraceChunk *>(map_ +
+                                               header_.dirOffset);
+    for (std::uint32_t c = 0; c < header_.chunkCount; ++c) {
+        const TraceChunk &chunk = dir_[c];
+        if (chunk.offset < sizeof(TraceHeader) ||
+            chunk.offset > header_.dirOffset ||
+            chunk.payloadBytes > header_.dirOffset - chunk.offset) {
+            fail("chunk " + std::to_string(c) + " out of bounds");
+            return;
+        }
+        if (header_.codec ==
+            static_cast<std::uint32_t>(TraceCodec::Raw)) {
+            if (chunk.payloadBytes !=
+                chunkRecordCount(c) * sizeof(TraceInstr)) {
+                fail("raw chunk " + std::to_string(c) +
+                     " has the wrong payload size");
+                return;
+            }
+            if (chunk.offset % alignof(TraceInstr) != 0) {
+                fail("misaligned raw chunk " + std::to_string(c));
+                return;
+            }
+        }
+    }
+}
+
+std::uint64_t
+TraceReader::chunkRecordCount(std::uint32_t index) const
+{
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>(index) * header_.chunkRecords;
+    if (begin >= header_.recordCount)
+        return 0;
+    const std::uint64_t left = header_.recordCount - begin;
+    return left < header_.chunkRecords ? left : header_.chunkRecords;
+}
+
+void
+TraceReader::reset()
+{
+    // ~0u + 1 wraps to chunk 0 on the first next().
+    chunkIndex_ = ~0u;
+    cursor_ = chunkEnd_ = nullptr;
+}
+
+bool
+TraceReader::loadChunk(std::uint32_t index)
+{
+    if (!valid() || index >= header_.chunkCount)
+        return false;
+    const TraceChunk &chunk = dir_[index];
+    const std::uint64_t records = chunkRecordCount(index);
+    if (header_.codec == static_cast<std::uint32_t>(TraceCodec::Raw)) {
+        // Zero copy: raw chunks are record-aligned in the mapping.
+        cursor_ =
+            reinterpret_cast<const TraceInstr *>(map_ + chunk.offset);
+    } else {
+#if TRRIP_HAVE_ZSTD
+        chunkBuffer_.resize(records);
+        const std::size_t n = ZSTD_decompress(
+            chunkBuffer_.data(), records * sizeof(TraceInstr),
+            map_ + chunk.offset, chunk.payloadBytes);
+        if (ZSTD_isError(n) || n != records * sizeof(TraceInstr)) {
+            fail("zstd decompression of chunk " +
+                 std::to_string(index) + " failed");
+            cursor_ = chunkEnd_ = nullptr;
+            return false;
+        }
+        cursor_ = chunkBuffer_.data();
+#else
+        // Unreachable: open() rejects zstd traces in this build.
+        return false;
+#endif
+    }
+    chunkEnd_ = cursor_ + records;
+    chunkIndex_ = index;
+    return true;
+}
+
+} // namespace trrip::trace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Streaming trace reader over an mmap'd file.
+ *
+ * The whole file is mapped read-only once; records are then served one
+ * chunk at a time -- raw chunks straight out of the mapping (zero
+ * copy; raw chunk offsets are record-aligned by construction), zstd
+ * chunks decompressed into a single reusable chunk buffer.  The full
+ * trace is never materialized, so arbitrarily long traces stream in
+ * O(chunk) memory.
+ *
+ * Constructors never abort: a missing, truncated or corrupt file
+ * leaves the reader !valid() with a human-readable error().  Every
+ * header field and every chunk-directory entry is bounds-checked
+ * against the file size before anything is dereferenced, so hostile
+ * inputs fail cleanly under ASan rather than walking off the map.
+ */
+
+#ifndef TRRIP_TRACE_READER_HH
+#define TRRIP_TRACE_READER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace trrip::trace {
+
+/** mmap-backed, chunk-at-a-time reader of one trace file. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(TraceReader &&other) noexcept;
+    TraceReader &operator=(TraceReader &&other) noexcept;
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool valid() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+    const std::string &path() const { return path_; }
+
+    std::uint64_t recordCount() const { return header_.recordCount; }
+    std::uint32_t chunkCount() const { return header_.chunkCount; }
+    TraceCodec codec() const
+    { return static_cast<TraceCodec>(header_.codec); }
+
+    /** Rewind the streaming cursor to the first record. */
+    void reset();
+
+    /**
+     * The next record, or nullptr at end of trace.  The pointer stays
+     * valid until the next chunk boundary is crossed (consumers copy
+     * the fields they keep).  Undefined on an invalid reader.
+     */
+    const TraceInstr *
+    next()
+    {
+        if (cursor_ == chunkEnd_ && !loadChunk(chunkIndex_ + 1))
+            return nullptr;
+        return cursor_++;
+    }
+
+    /** Records in chunk @p index (the last chunk may be short). */
+    std::uint64_t chunkRecordCount(std::uint32_t index) const;
+
+  private:
+    void open(const std::string &path);
+    void fail(std::string message);
+    /** Point the cursor at chunk @p index; false past the end. */
+    bool loadChunk(std::uint32_t index);
+    void unmap();
+
+    std::string path_;
+    std::string error_;
+    const std::uint8_t *map_ = nullptr;
+    std::size_t mapBytes_ = 0;
+    TraceHeader header_;
+    const TraceChunk *dir_ = nullptr;
+
+    /** Streaming cursor: [cursor_, chunkEnd_) of chunk chunkIndex_. */
+    const TraceInstr *cursor_ = nullptr;
+    const TraceInstr *chunkEnd_ = nullptr;
+    std::uint32_t chunkIndex_ = 0;
+    /** Decompression target for zstd chunks (reused, one chunk). */
+    std::vector<TraceInstr> chunkBuffer_;
+};
+
+} // namespace trrip::trace
+
+#endif // TRRIP_TRACE_READER_HH

@@ -1,0 +1,128 @@
+#include "trace/writer.hh"
+
+#if TRRIP_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
+namespace trrip::trace {
+
+TraceWriter::TraceWriter(const std::string &path, TraceCodec codec,
+                         std::uint32_t chunk_records)
+{
+    if (chunk_records == 0) {
+        setError("chunk size must be at least one record");
+        return;
+    }
+#if !TRRIP_HAVE_ZSTD
+    if (codec == TraceCodec::Zstd) {
+        setError("compiled without zstd support (TRRIP_HAVE_ZSTD); "
+                 "use TraceCodec::Raw");
+        return;
+    }
+#endif
+    header_.codec = static_cast<std::uint32_t>(codec);
+    header_.chunkRecords = chunk_records;
+    pending_.reserve(chunk_records);
+
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        setError("cannot open '" + path + "' for writing");
+        return;
+    }
+    // Placeholder header; finish() patches the final counts in.
+    if (std::fwrite(&header_, sizeof(header_), 1, file_) != 1) {
+        setError("cannot write header to '" + path + "'");
+        return;
+    }
+    writeOffset_ = sizeof(header_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::setError(std::string message)
+{
+    if (error_.empty())
+        error_ = std::move(message);
+}
+
+void
+TraceWriter::append(const TraceInstr &instr)
+{
+    if (!ok() || finished_)
+        return;
+    pending_.push_back(instr);
+    ++header_.recordCount;
+    if (pending_.size() == header_.chunkRecords)
+        flushChunk();
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (pending_.empty() || !ok())
+        return;
+    const std::size_t raw_bytes = pending_.size() * sizeof(TraceInstr);
+    const void *payload = pending_.data();
+    std::size_t payload_bytes = raw_bytes;
+#if TRRIP_HAVE_ZSTD
+    std::vector<char> compressed;
+    if (header_.codec == static_cast<std::uint32_t>(TraceCodec::Zstd)) {
+        compressed.resize(ZSTD_compressBound(raw_bytes));
+        const std::size_t n =
+            ZSTD_compress(compressed.data(), compressed.size(),
+                          pending_.data(), raw_bytes, 3);
+        if (ZSTD_isError(n)) {
+            setError(std::string("zstd compression failed: ") +
+                     ZSTD_getErrorName(n));
+            return;
+        }
+        payload = compressed.data();
+        payload_bytes = n;
+    }
+#endif
+    if (std::fwrite(payload, 1, payload_bytes, file_) !=
+        payload_bytes) {
+        setError("short write flushing a trace chunk");
+        return;
+    }
+    dir_.push_back(TraceChunk{writeOffset_, payload_bytes});
+    writeOffset_ += payload_bytes;
+    ++header_.chunkCount;
+    pending_.clear();
+}
+
+bool
+TraceWriter::finish()
+{
+    if (finished_ || !file_)
+        return ok();
+    flushChunk();
+    if (ok()) {
+        header_.dirOffset = writeOffset_;
+        const std::size_t n = dir_.size();
+        if (n > 0 &&
+            std::fwrite(dir_.data(), sizeof(TraceChunk), n, file_) !=
+                n) {
+            setError("short write on the chunk directory");
+        }
+    }
+    if (ok()) {
+        if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+            std::fwrite(&header_, sizeof(header_), 1, file_) != 1 ||
+            std::fflush(file_) != 0) {
+            setError("cannot patch the trace header");
+        }
+    }
+    finished_ = true;
+    std::fclose(file_);
+    file_ = nullptr;
+    return ok();
+}
+
+} // namespace trrip::trace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Streaming trace writer: append records, close, done.  Chunks are
+ * buffered one at a time (never the whole trace), flushed raw or
+ * zstd-compressed per the codec, and the chunk directory + patched
+ * header are written by finish().  Used by the deterministic
+ * mini-trace generator (trace/generate.hh) and by tests; the output
+ * is a pure function of the appended records, so regenerated packs
+ * are byte-identical.
+ *
+ * Errors are reported through ok()/error() rather than aborting, so
+ * tests can exercise failure paths; a writer that is !ok() turns all
+ * further calls into no-ops.
+ */
+
+#ifndef TRRIP_TRACE_WRITER_HH
+#define TRRIP_TRACE_WRITER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace trrip::trace {
+
+/** Append-only writer of the trace container format. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path,
+                         TraceCodec codec = TraceCodec::Raw,
+                         std::uint32_t chunk_records =
+                             kDefaultChunkRecords);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Buffer one record (flushes a chunk when full). */
+    void append(const TraceInstr &instr);
+
+    /**
+     * Flush the tail chunk, write the directory, patch the header and
+     * close.  Idempotent; also invoked by the destructor.  Returns
+     * ok().
+     */
+    bool finish();
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+    std::uint64_t recordsWritten() const { return header_.recordCount; }
+
+  private:
+    void flushChunk();
+    void setError(std::string message);
+
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+    std::vector<TraceInstr> pending_;   //!< Current chunk only.
+    std::vector<TraceChunk> dir_;
+    std::uint64_t writeOffset_ = 0;
+    bool finished_ = false;
+    std::string error_;
+};
+
+} // namespace trrip::trace
+
+#endif // TRRIP_TRACE_WRITER_HH

@@ -45,6 +45,17 @@ struct DataAccessEvent
     bool dependent = false; //!< Serially dependent (pointer chase).
 };
 
+/**
+ * Hard capacity of BBEvent::data.  Events carry their data accesses
+ * inline so the hot consume loop never chases a heap pointer; the
+ * price is that a block may not emit more than this many accesses per
+ * event.  Sources that cannot bound their blocks up front (the trace
+ * replayer: real code has unbounded gather/scatter runs) must SPLIT a
+ * block into multiple events at this seam rather than drop accesses
+ * -- see trace::TraceEventSource and tests/test_trace.cc.
+ */
+constexpr std::uint32_t kBBEventDataSlots = 12;
+
 /** One executed basic block with its terminator and data accesses. */
 struct BBEvent
 {
@@ -55,7 +66,7 @@ struct BBEvent
     bool hasBranch = false;
     BranchInfo branch;
     std::uint8_t numData = 0;
-    std::array<DataAccessEvent, 12> data;
+    std::array<DataAccessEvent, kBBEventDataSlots> data;
     /** Scratch for the core's FDIP lookahead. */
     bool fdipMispredict = false;
 };

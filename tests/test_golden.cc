@@ -23,6 +23,8 @@
 
 #include "core/codesign.hh"
 #include "sim/golden.hh"
+#include "trace/generate.hh"
+#include "trace/replay.hh"
 #include "workloads/proxies.hh"
 
 namespace trrip {
@@ -51,6 +53,34 @@ TEST(Golden, EngineFingerprintsAreBitIdentical)
             << c.workload << " / " << c.policy
             << (c.pgo ? " (pgo)" : " (no-pgo)")
             << ": simulation behavior changed.  Counter dump:\n"
+            << dump;
+    }
+}
+
+TEST(Golden, TraceReplayFingerprintsAreBitIdentical)
+{
+    // The pack is regenerated in place: generation is byte-pure, so
+    // the fingerprints pin generator + container + replay together.
+    const std::string dir = "golden_mini_traces";
+    trace::generateMiniTracePack(dir);
+
+    const bool print = std::getenv("TRRIP_PRINT_GOLDEN") != nullptr;
+    for (const TraceGoldenCase &c : traceGoldenCases()) {
+        const RunArtifacts art = trace::runTrace(
+            trace::miniTracePath(dir, c.trace), c.policy, c.options());
+        std::string dump;
+        const std::uint64_t fp =
+            goldenFingerprint(art.result, &dump);
+        if (print) {
+            std::printf("    {\"%s\", \"%s\", %s, 0x%016llxull},\n",
+                        c.trace, c.policy, c.pgo ? "true" : "false",
+                        static_cast<unsigned long long>(fp));
+            continue;
+        }
+        EXPECT_EQ(fp, c.expected)
+            << "trace " << c.trace << " / " << c.policy
+            << (c.pgo ? " (pgo)" : " (no-pgo)")
+            << ": trace replay behavior changed.  Counter dump:\n"
             << dump;
     }
 }

@@ -11,6 +11,8 @@ Checks, in order (each only when the sidecar carries the field):
   aggregate floor for bench/throughput_parallel's sidecar.
 * ``scaling.efficiency >= $TRRIP_SCALING_FLOOR`` -- minimum parallel
   scaling efficiency (aggregate / (serial * workers), in [0, 1]).
+* ``trace.minstr_per_sec >= $TRRIP_TRACE_FLOOR`` -- the serial
+  trace-replay floor for bench/trace_replay's sidecar.
 * ``golden_fingerprints.matched == golden_fingerprints.total`` and
   ``deterministic == true`` -- unconditional when present: a perf
   number measured over wrong simulation behavior is meaningless.
@@ -79,6 +81,22 @@ def main() -> int:
                     f"{agg:.2f} aggregate Minstr/s is below the "
                     f"{float(agg_floor):.2f} floor -- the parallel "
                     "path got slower; find the regression instead of "
+                    "lowering the floor.")
+
+    trace_floor = os.environ.get("TRRIP_TRACE_FLOOR")
+    if trace_floor:
+        if "trace" not in sidecar:
+            status |= fail("TRRIP_TRACE_FLOOR set but the sidecar has "
+                           "no trace block.")
+        else:
+            rate = sidecar["trace"]["minstr_per_sec"]
+            print(f"trace replay throughput: {rate:.2f} Minstr/s "
+                  f"(floor {float(trace_floor):.2f})")
+            if rate < float(trace_floor):
+                status |= fail(
+                    f"{rate:.2f} trace-replay Minstr/s is below the "
+                    f"{float(trace_floor):.2f} floor -- trace replay "
+                    "got slower; find the regression instead of "
                     "lowering the floor.")
 
     eff_floor = os.environ.get("TRRIP_SCALING_FLOOR")
