@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/error.hh"
+
 namespace trrip::bench {
 
 namespace {
@@ -90,9 +92,17 @@ runExperiment(const exp::ExperimentSpec &spec,
         sink_ptrs.push_back(s.get());
     sink_ptrs.insert(sink_ptrs.end(), extra_sinks.begin(),
                      extra_sinks.end());
-    auto results = runner.run(spec, sink_ptrs);
-    exp::printRunSummary(results);
-    return results;
+    try {
+        auto results = runner.run(spec, sink_ptrs);
+        exp::printRunSummary(results);
+        return results;
+    } catch (const SimError &err) {
+        // Abort-mode failure: the grid already stopped with no
+        // partial BENCH written; exit cleanly instead of unwinding
+        // into std::terminate.
+        std::fprintf(stderr, "error: %s\n", err.what());
+        std::exit(1);
+    }
 }
 
 } // namespace trrip::bench

@@ -52,6 +52,20 @@ WorkerPool::Batch::done() const
     return complete_;
 }
 
+std::vector<std::pair<std::size_t, SimError>>
+WorkerPool::Batch::failures() const
+{
+    std::lock_guard<std::mutex> lock(doneMutex_);
+    return failures_;
+}
+
+void
+WorkerPool::Batch::noteFailure(std::size_t item, SimError error)
+{
+    std::lock_guard<std::mutex> lock(doneMutex_);
+    failures_.emplace_back(item, std::move(error));
+}
+
 WorkerPool::WorkerPool(unsigned threads)
 {
     const unsigned n = std::max(1u, threads);
@@ -73,6 +87,84 @@ WorkerPool::~WorkerPool()
     workCv_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+    // Watchdog joins after the workers: deadlines stay enforced while
+    // the pool drains in-flight items at shutdown (a wedged item
+    // would otherwise make the join above unbounded).
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMutex_);
+            watchdogStop_ = true;
+        }
+        watchdogCv_.notify_all();
+        watchdog_.join();
+    }
+}
+
+void
+WorkerPool::setItemTimeout(std::uint64_t ms)
+{
+    itemTimeoutMs_.store(ms, std::memory_order_relaxed);
+    if (ms == 0)
+        return;
+    std::lock_guard<std::mutex> lock(watchdogMutex_);
+    if (!watchdog_.joinable() && !watchdogStop_)
+        watchdog_ = std::thread([this] { watchdogMain(); });
+}
+
+void
+WorkerPool::armDeadline(unsigned id)
+{
+    const std::uint64_t ms =
+        itemTimeoutMs_.load(std::memory_order_relaxed);
+    WorkerSlot &slot = *slots_[id];
+    std::lock_guard<std::mutex> lock(slot.deadlineMutex);
+    // Always clear the token: a cancellation that fired after the
+    // previous item's last poll must not leak into this item.
+    slot.cancel.rearm();
+    slot.running = ms > 0;
+    if (ms > 0) {
+        slot.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ms);
+    }
+}
+
+void
+WorkerPool::disarmDeadline(unsigned id)
+{
+    WorkerSlot &slot = *slots_[id];
+    std::lock_guard<std::mutex> lock(slot.deadlineMutex);
+    slot.running = false;
+}
+
+void
+WorkerPool::rearmDeadline(unsigned worker)
+{
+    armDeadline(worker);
+}
+
+void
+WorkerPool::watchdogMain()
+{
+    std::unique_lock<std::mutex> lock(watchdogMutex_);
+    while (!watchdogStop_) {
+        // Poll at a fraction of the timeout, floored/capped so a tiny
+        // timeout is still caught promptly and a huge one does not
+        // spin.
+        const std::uint64_t ms =
+            itemTimeoutMs_.load(std::memory_order_relaxed);
+        const std::uint64_t poll =
+            ms == 0 ? 50 : std::max<std::uint64_t>(
+                               1, std::min<std::uint64_t>(ms / 4, 50));
+        watchdogCv_.wait_for(lock, std::chrono::milliseconds(poll));
+        if (watchdogStop_ || ms == 0)
+            continue;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &slot : slots_) {
+            std::lock_guard<std::mutex> dl(slot->deadlineMutex);
+            if (slot->running && now >= slot->deadline)
+                slot->cancel.cancel();
+        }
+    }
 }
 
 std::shared_ptr<WorkerPool::Batch>
@@ -144,6 +236,7 @@ WorkerPool::workerMain(unsigned id)
     WorkerContext ctx;
     ctx.worker = id;
     ctx.arena = &slots_[id]->arena;
+    ctx.cancel = &slots_[id]->cancel;
 
     std::vector<std::shared_ptr<Batch>> snapshot;
     for (;;) {
@@ -168,7 +261,25 @@ WorkerPool::workerMain(unsigned id)
         for (const auto &batch : snapshot) {
             std::size_t item = 0;
             if (batch->pop(id, item)) {
-                batch->fn_(item, ctx);
+                // The success-or-error item contract: anything the
+                // item throws is recorded on the batch and the pool
+                // keeps draining -- a worker thread never dies to an
+                // exception (which would std::terminate the process).
+                armDeadline(id);
+                try {
+                    batch->fn_(item, ctx);
+                } catch (const SimError &e) {
+                    batch->noteFailure(item, e);
+                } catch (const std::exception &e) {
+                    batch->noteFailure(
+                        item, SimError(ErrorCategory::Internal,
+                                       e.what()));
+                } catch (...) {
+                    batch->noteFailure(
+                        item, SimError(ErrorCategory::Internal,
+                                       "unknown exception"));
+                }
+                disarmDeadline(id);
                 finishItem(batch);
                 ran = true;
                 break;

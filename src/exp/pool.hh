@@ -22,22 +22,37 @@
  * completion callback, where callers destroy arena-carved objects)
  * has finished, so an empty active list means no worker is executing
  * and no caller object still lives in an arena.
+ *
+ * Failure containment: the pool enforces a success-or-error item
+ * contract.  Anything an item throws is caught at the item boundary,
+ * recorded on the batch (failures()), and the batch keeps draining --
+ * one bad cell never terminates a worker or aborts sibling items.
+ * Deadlines ride the same contract: setItemTimeout() arms a lazily
+ * spawned watchdog thread that flips the running worker's cooperative
+ * CancelToken (handed to items via WorkerContext) when an item
+ * overruns; the computation polls the token at its own batch
+ * boundaries and throws SimError(Timeout), which is then just another
+ * contained item failure.  No detached threads, no pthread_cancel.
  */
 
 #ifndef TRRIP_EXP_POOL_HH
 #define TRRIP_EXP_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/arena.hh"
+#include "util/error.hh"
 
 namespace trrip::exp {
 
@@ -46,6 +61,8 @@ struct WorkerContext
 {
     unsigned worker = 0;     //!< Stable id in [0, threads()).
     Arena *arena = nullptr;  //!< The worker's private arena.
+    /** The worker's deadline token; poll and throw to honor it. */
+    const CancelToken *cancel = nullptr;
 };
 
 class WorkerPool
@@ -60,6 +77,14 @@ class WorkerPool
         void wait();
         bool done() const;
 
+        /**
+         * Items whose fn threw, with the captured error, in the
+         * order the failures were observed (scheduling-dependent;
+         * callers wanting determinism sort by item index).  Complete
+         * once wait() returned; safe but possibly partial before.
+         */
+        std::vector<std::pair<std::size_t, SimError>> failures() const;
+
       private:
         friend class WorkerPool;
 
@@ -69,6 +94,8 @@ class WorkerPool
         /** Pop one item for @p worker: own shard front first, then
          *  steal from the other shards' backs. */
         bool pop(std::size_t worker, std::size_t &out);
+
+        void noteFailure(std::size_t item, SimError error);
 
         struct alignas(kCacheLineBytes) Shard
         {
@@ -80,6 +107,8 @@ class WorkerPool
         ItemFn fn_;
         std::function<void()> onComplete_;
         std::size_t remaining_;       // Guarded by doneMutex_.
+        /** Contained item failures (guarded by doneMutex_). */
+        std::vector<std::pair<std::size_t, SimError>> failures_;
         mutable std::mutex doneMutex_;
         std::condition_variable doneCv_;
         bool complete_ = false;
@@ -116,14 +145,46 @@ class WorkerPool
      */
     bool resetArenasIfIdle();
 
+    /**
+     * Per-item deadline in milliseconds (0 disables).  Applies to
+     * items that start after the call; lazily spawns the watchdog
+     * thread on the first nonzero timeout.
+     */
+    void setItemTimeout(std::uint64_t ms);
+
+    std::uint64_t
+    itemTimeoutMs() const
+    {
+        return itemTimeoutMs_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Restart worker @p worker's deadline clock and clear its cancel
+     * token.  For callers that run several attempts of a computation
+     * inside ONE pool item (the runner's retry loop): without the
+     * re-arm, attempt 2 would inherit attempt 1's nearly-expired (or
+     * already-fired) deadline.  Must be called from the worker's own
+     * item fn.
+     */
+    void rearmDeadline(unsigned worker);
+
   private:
     struct WorkerSlot
     {
         alignas(kCacheLineBytes) Arena arena;
+        /** Cooperative deadline token handed to items. */
+        CancelToken cancel;
+        /** Guards deadline/running against the watchdog. */
+        std::mutex deadlineMutex;
+        std::chrono::steady_clock::time_point deadline{};
+        bool running = false;  //!< Deadline armed for a live item.
     };
 
     void workerMain(unsigned id);
     void finishItem(const std::shared_ptr<Batch> &batch);
+    void armDeadline(unsigned id);
+    void disarmDeadline(unsigned id);
+    void watchdogMain();
 
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     std::vector<std::thread> threads_;
@@ -133,6 +194,15 @@ class WorkerPool
     std::list<std::shared_ptr<Batch>> active_; // FIFO submit order.
     std::uint64_t epoch_ = 0; // Bumped on submit; guards lost wakeups.
     bool stop_ = false;
+
+    std::atomic<std::uint64_t> itemTimeoutMs_{0};
+    /** Watchdog thread state (lazily spawned; joined after workers,
+     *  so deadlines stay enforced while the pool drains at
+     *  shutdown). */
+    std::thread watchdog_;
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;
 };
 
 } // namespace trrip::exp

@@ -1,5 +1,6 @@
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -7,8 +8,10 @@
 #include <thread>
 
 #include "core/policy_registry.hh"
+#include "exp/journal.hh"
 #include "exp/sink.hh"
 #include "trace/replay.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace trrip::exp {
@@ -90,6 +93,13 @@ ExperimentRunner::ensurePool()
 {
     std::call_once(poolOnce_, [&] {
         pool_ = std::make_unique<WorkerPool>(threads_);
+        if (const char *env = std::getenv("TRRIP_CELL_TIMEOUT_MS")) {
+            const long long ms = std::atoll(env);
+            if (ms > 0) {
+                pool_->setItemTimeout(
+                    static_cast<std::uint64_t>(ms));
+            }
+        }
     });
     return *pool_;
 }
@@ -133,6 +143,22 @@ struct RunState
     std::uint64_t collectionsDelta = 0;
     std::uint64_t hitsDelta = 0;
 
+    /** Failure policy (copied from the spec) and its bookkeeping. */
+    OnError onError;
+    std::unique_ptr<RunJournal> journal;
+    std::uint64_t cellsResumed = 0;
+    std::atomic<std::uint64_t> cellsFailed{0};
+    std::atomic<std::uint64_t> cellsRetried{0};
+    std::atomic<std::uint64_t> failedAttempts{0};
+    /** Abort mode: set on the first failure; later cells short-
+     *  circuit instead of running. */
+    std::atomic<bool> abortRequested{false};
+    /** The failed cell with the lowest record index (what wait()
+     *  throws under Abort).  Guarded by errorMutex. */
+    std::mutex errorMutex;
+    std::size_t firstErrorIndex = ~std::size_t(0);
+    std::unique_ptr<SimError> firstError;
+
     /** Build batch + cell batch still outstanding. */
     std::atomic<int> phasesRemaining{0};
     std::shared_ptr<WorkerPool::Batch> buildBatch;
@@ -146,9 +172,21 @@ struct RunState
         if (trace::isTraceName(spec.workloads[workload]))
             return;
         std::call_once(buildOnce[workload], [&] {
-            pipelines[workload] =
-                wc.arena->makeUnique<CoDesignPipeline>(
-                    paramsFor(spec.workloads[workload]));
+            // The build injection site.  A throw leaves the once
+            // flag unset, so the next cell needing this workload
+            // (or this cell's next attempt) rebuilds.
+            FaultInjector::instance().maybeInject(FaultSite::Build);
+            try {
+                pipelines[workload] =
+                    wc.arena->makeUnique<CoDesignPipeline>(
+                        paramsFor(spec.workloads[workload]));
+            } catch (const SimError &) {
+                throw;
+            } catch (const std::exception &e) {
+                throw SimError(ErrorCategory::BuildFailure, e.what())
+                    .withContext("building pipeline for workload " +
+                                 spec.workloads[workload]);
+            }
         });
     }
 
@@ -190,6 +228,9 @@ struct RunState
                  "experiment '", spec.name,
                  "': attach observers via ExperimentSpec::hooks, not "
                  "a config mutator");
+        // Deadline enforcement: the simulation polls the worker's
+        // token at event-batch boundaries (CoreModel::refill).
+        ctx.options.cancel = wc.cancel;
         if (spec.hooks)
             rec.hook = spec.hooks(ctx.options, ctx.id);
         if (!spec.runCell)
@@ -238,6 +279,121 @@ struct RunState
         }
         rec.artifacts = std::move(outcome.artifacts);
         rec.metrics = std::move(outcome.metrics);
+    }
+
+    JournalEntry
+    journalEntryFor(const CellRecord &rec, std::size_t index) const
+    {
+        JournalEntry entry;
+        entry.cell = index;
+        entry.workload = rec.workload;
+        entry.policy = rec.policy;
+        entry.config = rec.config;
+        entry.attempts = rec.attempts;
+        entry.failed = rec.failed;
+        entry.errorCategory = rec.errorCategory;
+        entry.errorMessage = rec.errorMessage;
+        if (!rec.failed) {
+            entry.metrics = rec.metrics;
+            entry.resolvedPolicies = rec.artifacts.resolvedPolicies;
+        }
+        return entry;
+    }
+
+    /**
+     * The success-or-error cell contract: every attempt of runCell()
+     * runs under a deterministic fault-injection scope, failures are
+     * retried/recorded per the OnError policy, and nothing escapes to
+     * the pool.  (The pool's own item-boundary catch stays as the
+     * backstop for raw submitters.)
+     */
+    void
+    runCellGuarded(std::size_t ordinal, WorkerContext &wc)
+    {
+        const std::size_t index = live[ordinal];
+        CellRecord &rec = records[index];
+        // Abort mode short-circuit: once one cell failed, the rest
+        // of the grid is moot (wait() throws before the sinks run),
+        // so do not burn time executing it.
+        if (onError.mode == OnError::Mode::Abort &&
+            abortRequested.load(std::memory_order_relaxed)) {
+            return;
+        }
+
+        const unsigned max_attempts =
+            onError.mode == OnError::Mode::Retry
+                ? std::max(1u, onError.maxAttempts)
+                : 1;
+        SimError last(ErrorCategory::Internal, "unreachable");
+        for (unsigned attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            if (attempt > 1) {
+                if (onError.backoffMs > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            static_cast<std::uint64_t>(
+                                onError.backoffMs)
+                            << (attempt - 2)));
+                }
+                // A fresh attempt deserves a fresh deadline: all
+                // attempts run inside ONE pool item, so without this
+                // the first attempt's clock would cancel its
+                // retries.
+                pool->rearmDeadline(wc.worker);
+            }
+            // Scope keyed on (cell index, attempt): which faults
+            // fire depends only on the cell and the attempt number,
+            // never on the worker or the schedule -- and a retry
+            // re-rolls, so finite rates converge.
+            FaultInjector::Scope scope(index, attempt);
+            try {
+                FaultInjector::instance().maybeInject(
+                    FaultSite::Cell);
+                runCell(ordinal, wc);
+                rec.attempts = attempt;
+                if (attempt > 1) {
+                    cellsRetried.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                if (journal)
+                    journal->append(journalEntryFor(rec, index));
+                return;
+            } catch (const SimError &e) {
+                last = e;
+            } catch (const std::exception &e) {
+                last = SimError(ErrorCategory::Internal, e.what());
+            }
+            failedAttempts.fetch_add(1, std::memory_order_relaxed);
+            // Drop whatever the failed attempt half-produced so a
+            // retry (or the error row) starts from a clean record.
+            rec.hook = nullptr;
+            rec.artifacts = RunArtifacts{};
+            rec.metrics.clear();
+        }
+
+        // Final failure: a schema-stable error row, not a crash.
+        last.addContext(
+            "cell " + std::to_string(index) + ": workload " +
+            rec.workload + ", policy " + rec.policy +
+            (rec.config.empty() ? std::string()
+                                : ", config " + rec.config));
+        rec.failed = true;
+        rec.attempts = max_attempts;
+        rec.errorCategory = errorCategoryName(last.category());
+        rec.errorMessage = last.message();
+        for (const std::string &frame : last.context())
+            rec.errorMessage += "; " + frame;
+        cellsFailed.fetch_add(1, std::memory_order_relaxed);
+        if (journal)
+            journal->append(journalEntryFor(rec, index));
+        if (onError.mode == OnError::Mode::Abort) {
+            abortRequested.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (index < firstErrorIndex) {
+                firstErrorIndex = index;
+                firstError = std::make_unique<SimError>(last);
+            }
+        }
     }
 };
 
@@ -300,6 +456,44 @@ ExperimentRunner::submit(const ExperimentSpec &spec,
         state->live.push_back(i);
     }
 
+    state->onError = spec.onError;
+    if (!spec.journal.empty()) {
+        // Resume: cells the journal already holds are replayed into
+        // their records and dropped from the execution set, so the
+        // sinks re-emit them byte-identically without re-running.
+        const auto done = RunJournal::load(spec.journal);
+        state->live.erase(
+            std::remove_if(
+                state->live.begin(), state->live.end(),
+                [&](std::size_t i) {
+                    const auto it = done.find(i);
+                    if (it == done.end())
+                        return false;
+                    CellRecord &rec = state->records[i];
+                    const JournalEntry &entry = it->second;
+                    // A label mismatch means the journal belongs to
+                    // a different grid; resuming from it would emit
+                    // silently wrong rows.
+                    fatal_if(entry.workload != rec.workload ||
+                                 entry.policy != rec.policy ||
+                                 entry.config != rec.config,
+                             "journal '", spec.journal, "' cell ", i,
+                             " is (", entry.workload, ", ",
+                             entry.policy, ", ", entry.config,
+                             ") but experiment '", spec.name,
+                             "' expects (", rec.workload, ", ",
+                             rec.policy, ", ", rec.config, ")");
+                    rec.metrics = entry.metrics;
+                    rec.artifacts.resolvedPolicies =
+                        entry.resolvedPolicies;
+                    rec.resumed = true;
+                    ++state->cellsResumed;
+                    return true;
+                }),
+            state->live.end());
+        state->journal = std::make_unique<RunJournal>(spec.journal);
+    }
+
     // Custom-executor specs get no pipelines: their workload axis is
     // free-form labels, not proxy names.
     const std::size_t n_builds =
@@ -334,7 +528,7 @@ ExperimentRunner::submit(const ExperimentSpec &spec,
     state->cellBatch = pool.submit(
         state->live.size(),
         [state](std::size_t ordinal, WorkerContext &wc) {
-            state->runCell(ordinal, wc);
+            state->runCellGuarded(ordinal, wc);
         },
         state->threadsUsed, [state] { state->finishPhase(); });
 
@@ -358,11 +552,27 @@ PendingRun::wait()
     if (state->buildBatch)
         state->buildBatch->wait();
 
+    // Abort mode: a failed cell poisons the whole grid.  Rethrow the
+    // deterministically-first error without feeding the sinks -- no
+    // partial BENCH files -- but recycle the arenas first (both
+    // batches are complete, so the pool may well be quiescent).
+    if (state->firstError) {
+        state->pool->resetArenasIfIdle();
+        throw *state->firstError;
+    }
+
     ExperimentResults results(state->spec, std::move(state->records));
     results.wallSeconds = state->wallSeconds;
     results.threadsUsed = state->threadsUsed;
     results.profileCollections = state->collectionsDelta;
     results.profileHits = state->hitsDelta;
+    results.cellsFailed =
+        state->cellsFailed.load(std::memory_order_relaxed);
+    results.cellsRetried =
+        state->cellsRetried.load(std::memory_order_relaxed);
+    results.cellsResumed = state->cellsResumed;
+    results.failedAttempts =
+        state->failedAttempts.load(std::memory_order_relaxed);
 
     // Sinks observe cells in deterministic index order on the waiting
     // thread, independent of the schedule the pool actually executed.

@@ -12,6 +12,15 @@
  * Results are stored by deterministic cell index and fed to the
  * sinks in that order, so the output is bit-identical regardless of
  * thread count or scheduling.
+ *
+ * Failure semantics (see exp/spec.hh): a cell that throws SimError is
+ * a contained outcome, not a crash.  The runner retries or skips it
+ * per ExperimentSpec::onError, records the final error on the
+ * CellRecord (the sinks' schema-stable error rows), enforces
+ * per-cell deadlines through the pool watchdog
+ * (TRRIP_CELL_TIMEOUT_MS / setCellTimeout), and streams completed
+ * cells to an optional JSONL run journal from which a resubmitted
+ * spec resumes byte-identically (exp/journal.hh).
  */
 
 #ifndef TRRIP_EXP_RUNNER_HH
@@ -77,6 +86,15 @@ class ExperimentResults
     std::uint64_t profileCollections = 0; //!< Cache fills this run.
     std::uint64_t profileHits = 0;        //!< Cache hits this run.
 
+    /** @name Failure / recovery tallies for this run */
+    /** @{ */
+    std::uint64_t cellsFailed = 0;   //!< Final error rows.
+    std::uint64_t cellsRetried = 0;  //!< Cells that needed >1 attempt
+                                     //!< and ultimately succeeded.
+    std::uint64_t cellsResumed = 0;  //!< Replayed from the journal.
+    std::uint64_t failedAttempts = 0;//!< Individual attempts that threw.
+    /** @} */
+
   private:
     ExperimentSpec spec_;
     std::vector<CellRecord> cells_;
@@ -100,7 +118,14 @@ class PendingRun
     PendingRun(PendingRun &&) = default;
     PendingRun &operator=(PendingRun &&) = default;
 
-    /** Block until the grid completed, then finalize. */
+    /**
+     * Block until the grid completed, then finalize.  Under
+     * OnError::Mode::Abort (the default), a failed cell makes wait()
+     * throw that cell's SimError -- of the failed cells, the one
+     * with the lowest deterministic index -- without feeding the
+     * sinks (no partial BENCH files).  Skip/Retry modes return
+     * normally with error rows instead.
+     */
     ExperimentResults wait();
 
     /** Whether every cell (and pipeline build) has finished. */
@@ -158,6 +183,16 @@ class ExperimentRunner
      * quantify what the cache buys.
      */
     void setProfileReuse(bool enabled) { reuseProfiles_ = enabled; }
+
+    /**
+     * Per-cell deadline in milliseconds (0 disables).  Defaults to
+     * TRRIP_CELL_TIMEOUT_MS from the environment.  An overrunning
+     * cell is cooperatively cancelled and fails with
+     * SimError(Timeout), subject to the spec's OnError policy like
+     * any other contained failure.
+     */
+    void setCellTimeout(std::uint64_t ms)
+    { ensurePool().setItemTimeout(ms); }
 
     /** TRRIP_JOBS from the environment, else hardware concurrency. */
     static unsigned defaultJobs();

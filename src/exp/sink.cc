@@ -1,11 +1,11 @@
 #include "exp/sink.hh"
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 
 #include "core/policy_registry.hh"
+#include "exp/json_util.hh"
 #include "util/logging.hh"
 
 namespace trrip::exp {
@@ -69,6 +69,11 @@ TableSink::cell(const CellRecord &record)
 {
     std::printf("%-12s%14s%14s", record.workload.c_str(),
                 record.policy.c_str(), record.config.c_str());
+    if (record.failed) {
+        std::printf("  ERROR[%s] %s\n", record.errorCategory.c_str(),
+                    record.errorMessage.c_str());
+        return;
+    }
     for (const auto &name : metrics_) {
         const auto it = record.metrics.find(name);
         if (it == record.metrics.end())
@@ -86,44 +91,31 @@ printRunSummary(const ExperimentResults &results)
     for (const auto &rec : results.cells())
         live += rec.valid ? 1 : 0;
     std::printf("[%s] %zu cells on %u threads in %.2fs; profile "
-                "cache: %llu collections, %llu hits\n",
+                "cache: %llu collections, %llu hits",
                 results.spec().name.c_str(), live,
                 results.threadsUsed, results.wallSeconds,
                 static_cast<unsigned long long>(
                     results.profileCollections),
                 static_cast<unsigned long long>(results.profileHits));
+    if (results.cellsFailed || results.cellsRetried ||
+        results.cellsResumed) {
+        std::printf("; %llu failed, %llu retried, %llu resumed "
+                    "(%llu failed attempts)",
+                    static_cast<unsigned long long>(
+                        results.cellsFailed),
+                    static_cast<unsigned long long>(
+                        results.cellsRetried),
+                    static_cast<unsigned long long>(
+                        results.cellsResumed),
+                    static_cast<unsigned long long>(
+                        results.failedAttempts));
+    }
+    std::printf("\n");
 }
 
 // ----------------------------------------------------------------- JSON
 
 namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
 
 void
 writeStringArray(std::ofstream &out, const char *key,
@@ -211,6 +203,16 @@ JsonSink::cell(const CellRecord &record)
          << "\", \"policy\": \""
          << jsonEscape(canonicalLabel(record.policy))
          << "\", \"config\": \"" << jsonEscape(record.config) << "\"";
+    if (record.failed) {
+        // The schema-stable error row: category + message instead of
+        // a metrics object.  The message carries no wall-clock or
+        // address material, so BENCH output stays byte-reproducible
+        // for a given outcome set.
+        out_ << ", \"error\": {\"category\": \""
+             << jsonEscape(record.errorCategory) << "\", \"message\": \""
+             << jsonEscape(record.errorMessage) << "\"}}";
+        return;
+    }
     if (!record.artifacts.resolvedPolicies.empty()) {
         out_ << ", \"resolved_policies\": {";
         bool first = true;
@@ -237,12 +239,13 @@ JsonSink::end(const ExperimentResults &results)
 {
     if (!out_)
         return;
-    // Deliberately no wall time or thread count: the file must be
-    // byte-identical across runs and TRRIP_JOBS settings so it can be
-    // diffed for regression tracking (timing lives on stdout).
-    out_ << "\n  ],\n  \"profile_collections\": "
-         << results.profileCollections
-         << ",\n  \"profile_hits\": " << results.profileHits << "\n}\n";
+    // Deliberately no wall time, thread count, or cache statistics:
+    // the file must be byte-identical across runs, TRRIP_JOBS
+    // settings, retries and journal resumes, so it can be diffed for
+    // regression tracking (timing and cache hit rates live on
+    // stdout; see printRunSummary).
+    (void)results;
+    out_ << "\n  ]\n}\n";
     out_.close();
     inform("wrote ", path_);
 }
@@ -267,6 +270,9 @@ CsvSink::cell(const CellRecord &record)
     copy.policy = canonicalLabel(record.policy);
     copy.config = record.config;
     copy.metrics = record.metrics;
+    copy.failed = record.failed;
+    copy.errorCategory = record.errorCategory;
+    copy.errorMessage = record.errorMessage;
     rows_.push_back(std::move(copy));
 }
 
@@ -279,12 +285,20 @@ CsvSink::end(const ExperimentResults &)
         return;
     }
     std::set<std::string> columns;
-    for (const auto &row : rows_)
+    bool any_failed = false;
+    for (const auto &row : rows_) {
         for (const auto &[name, _] : row.metrics)
             columns.insert(name);
+        any_failed = any_failed || row.failed;
+    }
     out_ << "workload,policy,config";
     for (const auto &c : columns)
         out_ << ',' << c;
+    // Error columns only exist when the run produced an error row,
+    // so fault-free output is byte-identical to the pre-error-row
+    // schema.
+    if (any_failed)
+        out_ << ",error_category,error_message";
     out_ << '\n';
     for (const auto &row : rows_) {
         out_ << csvField(row.workload) << ',' << csvField(row.policy)
@@ -294,6 +308,10 @@ CsvSink::end(const ExperimentResults &)
             out_ << ',';
             if (it != row.metrics.end())
                 out_ << jsonNumber(it->second);
+        }
+        if (any_failed) {
+            out_ << ',' << csvField(row.errorCategory) << ','
+                 << csvField(row.errorMessage);
         }
         out_ << '\n';
     }

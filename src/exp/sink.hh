@@ -16,6 +16,13 @@
  * bare name and its fully spelled-out spec emit identical files.
  * Timing fields (wall seconds, thread count) stay on stdout only:
  * BENCH files are byte-reproducible across runs and thread counts.
+ *
+ * Failed cells become schema-stable error rows: the JSON writer
+ * replaces the metrics object with {"error": {"category", "message"}}
+ * and the CSV writer appends error_category/error_message columns
+ * (only when the run produced at least one error row).  Error
+ * messages are deterministic for a given outcome, so files stay
+ * byte-reproducible even for runs with failures.
  */
 
 #ifndef TRRIP_EXP_SINK_HH

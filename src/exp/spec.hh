@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/codesign.hh"
+#include "util/error.hh"
 #include "workloads/proxies.hh"
 
 namespace trrip {
@@ -28,6 +29,28 @@ class Arena;
 namespace trrip::exp {
 
 class ProfileCache;
+
+/**
+ * What the runner does when a cell fails with a contained SimError.
+ *
+ *  - Abort: record the error, skip every not-yet-started cell, and
+ *    make PendingRun::wait() rethrow it without feeding the sinks --
+ *    no partial BENCH files (the strict mode, and the default).
+ *  - Skip: the cell becomes a schema-stable error row; the rest of
+ *    the grid is unaffected.
+ *  - Retry: re-run the failed cell (with its deadline re-armed and a
+ *    fresh fault-injection attempt number) up to maxAttempts total
+ *    attempts, sleeping backoffMs << (attempt-1) between attempts;
+ *    still-failing cells then degrade to Skip behavior.
+ */
+struct OnError
+{
+    enum class Mode { Abort, Skip, Retry };
+
+    Mode mode = Mode::Abort;
+    unsigned maxAttempts = 3;  //!< Total attempts (Retry mode).
+    unsigned backoffMs = 0;    //!< Base of the exponential backoff.
+};
 
 /** Position of one cell in the (workload, policy, config) grid. */
 struct CellId
@@ -118,6 +141,18 @@ struct ExperimentSpec
      */
     std::function<CellOutcome(const CellContext &)> runCell;
 
+    /** Failure policy for cells that throw SimError. */
+    OnError onError;
+
+    /**
+     * Optional run-journal path (JSONL).  Completed cells stream to
+     * it as they finish; resubmitting the same spec with the same
+     * path skips cells the journal already holds and re-emits their
+     * recorded rows, byte-identical to a clean run.  Empty disables
+     * journaling.
+     */
+    std::string journal;
+
     std::size_t
     configCount() const
     {
@@ -169,6 +204,21 @@ struct CellRecord
     std::map<std::string, double> metrics;
     /** Instrumentation handle from ExperimentSpec::hooks, if any. */
     std::shared_ptr<void> hook;
+
+    /**
+     * @name Failure outcome (the success-or-error cell contract)
+     * A failed cell stays valid (the sinks emit it as an error row);
+     * errorCategory/errorMessage carry the final attempt's SimError.
+     */
+    /** @{ */
+    bool failed = false;
+    std::string errorCategory;
+    std::string errorMessage;
+    /** @} */
+    /** Attempts actually executed (0 for resumed/skipped cells). */
+    unsigned attempts = 0;
+    /** Replayed from a run journal instead of executed. */
+    bool resumed = false;
 
     const SimResult &result() const { return artifacts.result; }
 

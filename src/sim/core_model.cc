@@ -52,6 +52,14 @@ CoreModel::refill()
     const auto ahead = static_cast<std::uint32_t>(produced_ - head_);
     if (ahead >= window_)
         return;
+    // The cooperative-cancellation poll: once per batch refill (every
+    // few dozen events), never per event.  Unwinds out of run() as a
+    // contained cell failure; the pool catches at the item boundary.
+    // Message carries no progress counters: error rows are part of
+    // the byte-reproducible BENCH contract and the cancellation
+    // instant is wall-clock dependent.
+    if (cancel_ && cancel_->cancelled())
+        throw SimError(ErrorCategory::Timeout, "cell deadline exceeded");
     const auto n =
         static_cast<std::uint32_t>(ring_.size()) - ahead;
     events_.produce(ring_.data(), mask_,

@@ -44,6 +44,7 @@
 #include "cache/hierarchy.hh"
 #include "sim/topdown.hh"
 #include "sw/mmu.hh"
+#include "util/error.hh"
 #include "workloads/executor.hh"
 
 namespace trrip {
@@ -149,6 +150,15 @@ class CoreModel
     void setCostlyTracker(CostlyMissTracker *tracker)
     { costlyTracker_ = tracker; }
 
+    /**
+     * Optional cooperative cancellation (the watchdog's deadline
+     * path).  Polled at event-batch refills -- every few dozen
+     * events, so cancellation lands within microseconds without a
+     * per-event branch -- and surfaces as a thrown
+     * SimError(Timeout) unwinding out of run().
+     */
+    void setCancelToken(const CancelToken *cancel) { cancel_ = cancel; }
+
     /** Run for @p max_instructions and return the aggregated result. */
     SimResult run(InstCount max_instructions);
 
@@ -243,6 +253,7 @@ class CoreModel
     std::uint64_t starvationEvents_ = 0;
     double lastInstL2Miss_ = -1e18;
     CostlyMissTracker *costlyTracker_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace trrip

@@ -129,6 +129,7 @@ runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
 
     CoreModel core(exec, hier, mmu, branch, options.core, backend);
     core.setCostlyTracker(options.costly);
+    core.setCancelToken(options.cancel);
     art.result = core.run(budget);
     return art;
 }

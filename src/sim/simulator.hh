@@ -44,6 +44,13 @@ struct SimOptions
     CostlyMissTracker *costly = nullptr;
 
     /**
+     * Optional cooperative-cancellation token (deadline enforcement;
+     * see CoreModel::setCancelToken).  Caller-owned; the experiment
+     * layer wires the worker's token in per cell.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
      * Optional precomputed training profile (the profile depends only
      * on the workload and profile budget, so pipelines cache it across
      * policy runs).  Shared, never deep-copied: concurrent runs of the

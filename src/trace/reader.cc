@@ -11,6 +11,8 @@
 #include <zstd.h>
 #endif
 
+#include "util/fault.hh"
+
 namespace trrip::trace {
 
 TraceReader::TraceReader(const std::string &path) : path_(path)
@@ -37,6 +39,9 @@ TraceReader::operator=(TraceReader &&other) noexcept
     unmap();
     path_ = std::move(other.path_);
     error_ = std::move(other.error_);
+    errorCategory_ = other.errorCategory_;
+    errorChunk_ = other.errorChunk_;
+    errorOffset_ = other.errorOffset_;
     map_ = other.map_;
     mapBytes_ = other.mapBytes_;
     header_ = other.header_;
@@ -63,12 +68,31 @@ TraceReader::unmap()
 }
 
 void
-TraceReader::fail(std::string message)
+TraceReader::fail(std::string message, std::uint64_t offset,
+                  std::uint32_t chunk, ErrorCategory category)
 {
-    if (error_.empty())
-        error_ = "trace '" + path_ + "': " + std::move(message);
+    if (error_.empty()) {
+        // Uniform context suffix across every reject path: the chunk
+        // (when the failure is chunk-scoped) and the file byte offset
+        // of the offending field or payload.
+        error_ = "trace '" + path_ + "': " + std::move(message) + " (";
+        if (chunk != kNoChunk)
+            error_ += "chunk " + std::to_string(chunk) + ", ";
+        error_ += "byte offset " + std::to_string(offset) + ")";
+        errorCategory_ = category;
+        errorChunk_ = chunk;
+        errorOffset_ = offset;
+    }
     unmap();
     dir_ = nullptr;
+}
+
+SimError
+TraceReader::makeError() const
+{
+    return SimError(errorCategory_,
+                    valid() ? "trace '" + path_ + "': no error recorded"
+                            : error_);
 }
 
 void
@@ -76,26 +100,27 @@ TraceReader::open(const std::string &path)
 {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-        fail("cannot open for reading");
+        fail("cannot open for reading", 0);
         return;
     }
     struct stat st;
     if (::fstat(fd, &st) != 0) {
         ::close(fd);
-        fail("fstat failed");
+        fail("fstat failed", 0);
         return;
     }
     mapBytes_ = static_cast<std::size_t>(st.st_size);
     if (mapBytes_ < sizeof(TraceHeader)) {
         ::close(fd);
-        fail("truncated header (file smaller than 64 bytes)");
+        fail("truncated header (file smaller than 64 bytes)",
+             mapBytes_);
         return;
     }
     void *m = ::mmap(nullptr, mapBytes_, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
     if (m == MAP_FAILED) {
         map_ = nullptr;
-        fail("mmap failed");
+        fail("mmap failed", 0);
         return;
     }
     map_ = static_cast<const std::uint8_t *>(m);
@@ -105,40 +130,46 @@ TraceReader::open(const std::string &path)
     // next().
     std::memcpy(&header_, map_, sizeof(header_));
     if (header_.magic != kTraceMagic) {
-        fail("bad magic (not a trrip trace file)");
+        fail("bad magic (not a trrip trace file)",
+             offsetof(TraceHeader, magic));
         return;
     }
     if (header_.version != kTraceVersion) {
-        fail("unsupported version " +
-             std::to_string(header_.version));
+        fail("unsupported version " + std::to_string(header_.version),
+             offsetof(TraceHeader, version));
         return;
     }
     if (header_.codec > static_cast<std::uint32_t>(TraceCodec::Zstd)) {
-        fail("unknown codec " + std::to_string(header_.codec));
+        fail("unknown codec " + std::to_string(header_.codec),
+             offsetof(TraceHeader, codec));
         return;
     }
 #if !TRRIP_HAVE_ZSTD
     if (header_.codec ==
         static_cast<std::uint32_t>(TraceCodec::Zstd)) {
         fail("zstd-compressed trace but compiled without zstd "
-             "support (TRRIP_HAVE_ZSTD)");
+             "support (TRRIP_HAVE_ZSTD)",
+             offsetof(TraceHeader, codec));
         return;
     }
 #endif
     if (header_.recordCount == 0) {
         if (header_.chunkCount != 0)
-            fail("empty trace with a non-empty chunk directory");
+            fail("empty trace with a non-empty chunk directory",
+                 offsetof(TraceHeader, chunkCount));
         return;
     }
     if (header_.chunkRecords == 0) {
-        fail("zero records per chunk");
+        fail("zero records per chunk",
+             offsetof(TraceHeader, chunkRecords));
         return;
     }
     const std::uint64_t expected_chunks =
         (header_.recordCount + header_.chunkRecords - 1) /
         header_.chunkRecords;
     if (header_.chunkCount != expected_chunks) {
-        fail("chunk count does not match the record count");
+        fail("chunk count does not match the record count",
+             offsetof(TraceHeader, chunkCount));
         return;
     }
     const std::uint64_t dir_bytes =
@@ -147,33 +178,39 @@ TraceReader::open(const std::string &path)
     if (header_.dirOffset < sizeof(TraceHeader) ||
         header_.dirOffset > mapBytes_ ||
         dir_bytes > mapBytes_ - header_.dirOffset) {
-        fail("chunk directory out of bounds");
+        fail("chunk directory out of bounds",
+             offsetof(TraceHeader, dirOffset));
         return;
     }
     if (header_.dirOffset % alignof(TraceChunk) != 0) {
-        fail("misaligned chunk directory");
+        fail("misaligned chunk directory",
+             offsetof(TraceHeader, dirOffset));
         return;
     }
     dir_ = reinterpret_cast<const TraceChunk *>(map_ +
                                                header_.dirOffset);
     for (std::uint32_t c = 0; c < header_.chunkCount; ++c) {
         const TraceChunk &chunk = dir_[c];
+        // The directory entry's own file offset: failures in the
+        // entry point there, failures in the payload at the payload.
+        const std::uint64_t entry_offset =
+            header_.dirOffset + c * sizeof(TraceChunk);
         if (chunk.offset < sizeof(TraceHeader) ||
             chunk.offset > header_.dirOffset ||
             chunk.payloadBytes > header_.dirOffset - chunk.offset) {
-            fail("chunk " + std::to_string(c) + " out of bounds");
+            fail("chunk out of bounds", entry_offset, c);
             return;
         }
         if (header_.codec ==
             static_cast<std::uint32_t>(TraceCodec::Raw)) {
             if (chunk.payloadBytes !=
                 chunkRecordCount(c) * sizeof(TraceInstr)) {
-                fail("raw chunk " + std::to_string(c) +
-                     " has the wrong payload size");
+                fail("raw chunk has the wrong payload size",
+                     entry_offset, c);
                 return;
             }
             if (chunk.offset % alignof(TraceInstr) != 0) {
-                fail("misaligned raw chunk " + std::to_string(c));
+                fail("misaligned raw chunk", chunk.offset, c);
                 return;
             }
         }
@@ -206,6 +243,15 @@ TraceReader::loadChunk(std::uint32_t index)
         return false;
     const TraceChunk &chunk = dir_[index];
     const std::uint64_t records = chunkRecordCount(index);
+    // Chunk loads are the trace_read fault-injection site: a firing
+    // turns the reader !valid() exactly as a mid-stream corruption
+    // would, exercising the consumer's must-check contract.
+    if (FaultInjector::instance().shouldFail(FaultSite::TraceRead)) {
+        fail("injected fault at site trace_read", chunk.offset, index,
+             ErrorCategory::Injected);
+        cursor_ = chunkEnd_ = nullptr;
+        return false;
+    }
     if (header_.codec == static_cast<std::uint32_t>(TraceCodec::Raw)) {
         // Zero copy: raw chunks are record-aligned in the mapping.
         cursor_ =
@@ -217,8 +263,7 @@ TraceReader::loadChunk(std::uint32_t index)
             chunkBuffer_.data(), records * sizeof(TraceInstr),
             map_ + chunk.offset, chunk.payloadBytes);
         if (ZSTD_isError(n) || n != records * sizeof(TraceInstr)) {
-            fail("zstd decompression of chunk " +
-                 std::to_string(index) + " failed");
+            fail("zstd decompression failed", chunk.offset, index);
             cursor_ = chunkEnd_ = nullptr;
             return false;
         }

@@ -223,6 +223,7 @@ runTrace(const std::string &path, const std::string &policy_spec,
     BackendParams backend;  // Traces carry no synthetic stall model.
     CoreModel core(source, hier, mmu, branch, opts.core, backend);
     core.setCostlyTracker(opts.costly);
+    core.setCancelToken(opts.cancel);
     art.result = core.run(resolveBudget(opts));
     return art;
 }

@@ -57,8 +57,11 @@ struct TraceIndex
 };
 
 /**
- * Stream the trace once and build its index.  Fatal on a missing,
- * corrupt or empty file (probe untrusted files with TraceReader).
+ * Stream the trace once and build its index.  Throws
+ * SimError(TraceCorrupt) on a missing, corrupt or empty file -- a
+ * contained per-cell failure the experiment layer's OnError policy
+ * handles (probe untrusted files with TraceReader to avoid the
+ * throw).
  */
 TraceIndex buildTraceIndex(const std::string &path);
 

@@ -1,16 +1,21 @@
 #include "trace/source.hh"
 
-#include "util/logging.hh"
-
 namespace trrip::trace {
 
 TraceEventSource::TraceEventSource(const std::string &path) :
     reader_(path)
 {
-    fatal_if(!reader_.valid(), reader_.error());
-    fatal_if(reader_.recordCount() == 0, "trace '", path,
-             "' is empty; an event source needs at least one record");
-    cur_ = *reader_.next();
+    if (!reader_.valid())
+        throw reader_.makeError();
+    if (reader_.recordCount() == 0) {
+        throw SimError(ErrorCategory::TraceCorrupt,
+                       "trace '" + path + "': empty; an event source "
+                       "needs at least one record");
+    }
+    const TraceInstr *first = reader_.next();
+    if (!first)  // First chunk load failed (corruption or injection).
+        throw reader_.makeError();
+    cur_ = *first;
     firstIp_ = cur_.ip;
 }
 

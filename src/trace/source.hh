@@ -60,8 +60,9 @@ struct TraceBlockInfo
 class TraceEventSource final : public BBEventSource
 {
   public:
-    /** Opens the trace; fatal on a missing/corrupt/empty file (use
-     *  TraceReader directly to probe untrusted files). */
+    /** Opens the trace; throws SimError(TraceCorrupt) on a missing,
+     *  corrupt or empty file -- a contained per-cell failure, not a
+     *  process abort. */
     explicit TraceEventSource(const std::string &path);
 
     /** Reconstruct the next block event (the stream never ends). */
@@ -81,17 +82,26 @@ class TraceEventSource final : public BBEventSource
     std::uint64_t recordCount() const { return reader_.recordCount(); }
 
   private:
-    /** Advance the reader, wrapping at end of trace. */
+    /**
+     * Advance the reader, wrapping at end of trace.  A reader can
+     * turn !valid() mid-stream (chunk corruption, trace_read fault
+     * injection); that surfaces here as a thrown SimError rather
+     * than a dereference of the null end-of-trace sentinel.
+     */
     const TraceInstr *
     advance(bool &wrapped)
     {
-        const TraceInstr *rec = reader_.next();
-        if (rec)
+        if (const TraceInstr *rec = reader_.next())
             return rec;
+        if (!reader_.valid())
+            throw reader_.makeError();
         wrapped = true;
         ++passes_;
         reader_.reset();
-        return reader_.next();  // Non-null: the trace is non-empty.
+        const TraceInstr *rec = reader_.next();
+        if (!rec)  // Non-empty trace: only a mid-stream failure.
+            throw reader_.makeError();
+        return rec;
     }
 
     std::uint32_t idFor(Addr addr);

@@ -386,10 +386,10 @@ TEST(Sinks, JsonSinkWritesTrajectory)
                         "\"TRRIP-1(bits=2)\", \"SLC\": \"LRU\"}"),
               std::string::npos);
     EXPECT_NE(text.find("\"l2_inst_mpki\""), std::string::npos);
-    EXPECT_NE(text.find("\"profile_collections\": 1"),
-              std::string::npos);
-    // No timing fields: BENCH JSON must be byte-reproducible.
+    // No timing or cache-statistics fields: BENCH JSON must be
+    // byte-reproducible across runs, TRRIP_JOBS, retries and resumes.
     EXPECT_EQ(text.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(text.find("profile_collections"), std::string::npos);
     std::remove(path.c_str());
 }
 

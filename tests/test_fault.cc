@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Tests for the failure-containment layer: the SimError taxonomy, the
+ * deterministic fault injector, the success-or-error cell contract
+ * under every OnError mode, watchdog timeout cancellation, trace
+ * corruption context, pool shutdown with failed batches in flight,
+ * and journal write/load/resume byte-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/journal.hh"
+#include "exp/pool.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+
+namespace trrip {
+namespace {
+
+/** Injection must never leak into other tests in this binary. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FaultInjector::instance().configure("");
+        FaultInjector::instance().resetCounts();
+    }
+    void TearDown() override
+    {
+        FaultInjector::instance().configure("");
+    }
+};
+
+exp::ExperimentSpec
+tinySpec()
+{
+    exp::ExperimentSpec spec;
+    spec.name = "fault_grid";
+    spec.workloads = {"python", "deepsjeng"};
+    spec.policies = {"SRRIP", "TRRIP-1", "CLIP"};
+    spec.options.maxInstructions = 200000;
+    return spec;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ------------------------------------------------------------ taxonomy
+
+TEST(SimErrorTest, DescribeCarriesCategoryAndContextChain)
+{
+    SimError e(ErrorCategory::TraceCorrupt, "bad magic");
+    e.addContext("trace '/tmp/x.trrtrc'");
+    SimError moved = std::move(e).withContext("cell 3");
+    EXPECT_EQ(moved.category(), ErrorCategory::TraceCorrupt);
+    EXPECT_EQ(moved.message(), "bad magic");
+    ASSERT_EQ(moved.context().size(), 2u);
+    EXPECT_EQ(moved.context()[0], "trace '/tmp/x.trrtrc'");
+    EXPECT_EQ(moved.context()[1], "cell 3");
+    EXPECT_EQ(std::string(moved.what()),
+              "[trace_corrupt] bad magic; trace '/tmp/x.trrtrc'; "
+              "cell 3");
+}
+
+TEST(SimErrorTest, CategoryNames)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::TraceCorrupt),
+                 "trace_corrupt");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::BuildFailure),
+                 "build_failure");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Timeout), "timeout");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Injected),
+                 "injected");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal),
+                 "internal");
+}
+
+TEST(SimErrorTest, CancelTokenFlipsAndRearms)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    token.rearm();
+    EXPECT_FALSE(token.cancelled());
+}
+
+// ------------------------------------------------------------ injector
+
+TEST_F(FaultTest, MalformedSpecsThrow)
+{
+    auto &inj = FaultInjector::instance();
+    EXPECT_THROW(inj.configure("bogus_site:1/2"), SimError);
+    EXPECT_THROW(inj.configure("cell:1"), SimError);
+    EXPECT_THROW(inj.configure("cell:x/2"), SimError);
+    EXPECT_THROW(inj.configure("cell:1/0"), SimError);
+    EXPECT_THROW(inj.configure("cell:3/2"), SimError);
+    EXPECT_THROW(inj.configure("seed=banana"), SimError);
+    // A throwing configure leaves injection off.
+    EXPECT_FALSE(inj.enabled());
+    inj.configure("cell:1/2,seed=3");
+    EXPECT_TRUE(inj.enabled());
+    inj.configure("");
+    EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FaultTest, ScopedDrawsAreDeterministicAndRerollPerAttempt)
+{
+    auto &inj = FaultInjector::instance();
+    inj.configure("cell:1/3,seed=42");
+
+    auto drawSequence = [&](std::uint64_t key, unsigned attempt) {
+        FaultInjector::Scope scope(key, attempt);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(inj.shouldFail(FaultSite::Cell));
+        return fired;
+    };
+
+    const auto a1 = drawSequence(7, 1);
+    const auto a1_again = drawSequence(7, 1);
+    EXPECT_EQ(a1, a1_again); // Same (cell, attempt): same faults.
+
+    const auto a2 = drawSequence(7, 2);
+    EXPECT_NE(a1, a2); // A retry re-rolls.
+    const auto other = drawSequence(8, 1);
+    EXPECT_NE(a1, other); // Another cell draws independently.
+
+    // Rate sanity: 1/3 over 64 draws should fire well within (0, 64).
+    const int fires = static_cast<int>(
+        std::count(a1.begin(), a1.end(), true));
+    EXPECT_GT(fires, 0);
+    EXPECT_LT(fires, 64);
+}
+
+TEST_F(FaultTest, UnnamedSitesNeverFireAndCountsAccumulate)
+{
+    auto &inj = FaultInjector::instance();
+    inj.configure("build:1/1,seed=1");
+    FaultInjector::Scope scope(0, 1);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(inj.shouldFail(FaultSite::TraceRead));
+        EXPECT_TRUE(inj.shouldFail(FaultSite::Build));
+    }
+    EXPECT_EQ(inj.firedCount(FaultSite::TraceRead), 0u);
+    EXPECT_EQ(inj.checkedCount(FaultSite::TraceRead), 10u);
+    EXPECT_EQ(inj.firedCount(FaultSite::Build), 10u);
+    EXPECT_EQ(inj.totalFired(), 10u);
+    EXPECT_THROW(inj.maybeInject(FaultSite::Build), SimError);
+}
+
+// ------------------------------------------------- OnError containment
+
+TEST_F(FaultTest, SkipModeContainsFailuresAsErrorRows)
+{
+    FaultInjector::instance().configure("cell:1/2,seed=5");
+    exp::ExperimentRunner runner(2);
+    auto spec = tinySpec();
+    spec.onError.mode = exp::OnError::Mode::Skip;
+    const exp::ExperimentResults results = runner.run(spec, {});
+
+    std::uint64_t failed = 0;
+    for (const auto &rec : results.cells()) {
+        ASSERT_TRUE(rec.valid);
+        if (rec.failed) {
+            ++failed;
+            EXPECT_EQ(rec.errorCategory, "injected");
+            EXPECT_NE(rec.errorMessage.find("injected fault"),
+                      std::string::npos);
+            EXPECT_TRUE(rec.metrics.empty());
+        } else {
+            EXPECT_FALSE(rec.metrics.empty());
+        }
+    }
+    EXPECT_GT(failed, 0u); // 1/2 over 6 cells: ~always fires.
+    EXPECT_EQ(results.cellsFailed, failed);
+}
+
+TEST_F(FaultTest, RetryModeConvergesToFaultFreeResults)
+{
+    exp::ExperimentRunner runner(2);
+    const exp::ExperimentResults clean = runner.run(tinySpec(), {});
+
+    // seed=5 at 2/3: every cell fails at least once but converges
+    // within 10 attempts (draws are deterministic; see util/fault.hh).
+    FaultInjector::instance().configure("cell:2/3,seed=5");
+    auto spec = tinySpec();
+    spec.onError.mode = exp::OnError::Mode::Retry;
+    spec.onError.maxAttempts = 10;
+    const exp::ExperimentResults retried = runner.run(spec, {});
+    FaultInjector::instance().configure("");
+
+    EXPECT_EQ(retried.cellsFailed, 0u);
+    EXPECT_GT(retried.failedAttempts, 0u);
+    EXPECT_GT(retried.cellsRetried, 0u);
+    ASSERT_EQ(clean.cells().size(), retried.cells().size());
+    for (std::size_t i = 0; i < clean.cells().size(); ++i) {
+        EXPECT_EQ(clean.cells()[i].metrics, retried.cells()[i].metrics);
+        EXPECT_FALSE(retried.cells()[i].failed);
+    }
+}
+
+TEST_F(FaultTest, AbortModeThrowsLowestFailedCellFromWait)
+{
+    FaultInjector::instance().configure("cell:1/1,seed=1");
+    // Serial runner: cell 0 deterministically fails first, so the
+    // rethrown error is pinned to it.
+    exp::ExperimentRunner runner(1);
+    auto spec = tinySpec();
+    spec.onError.mode = exp::OnError::Mode::Abort;
+    bool threw = false;
+    try {
+        runner.run(spec, {});
+    } catch (const SimError &e) {
+        threw = true;
+        EXPECT_EQ(e.category(), ErrorCategory::Injected);
+        // The rethrown error names the lowest-index failed cell.
+        EXPECT_NE(std::string(e.what()).find("cell 0"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(threw);
+    FaultInjector::instance().configure("");
+
+    // The runner must still be usable after an aborted grid.
+    const exp::ExperimentResults after = runner.run(tinySpec(), {});
+    EXPECT_EQ(after.cellsFailed, 0u);
+}
+
+TEST_F(FaultTest, BuildFaultsAreContainedPerWorkload)
+{
+    FaultInjector::instance().configure("build:1/1,seed=2");
+    exp::ExperimentRunner runner(2);
+    auto spec = tinySpec();
+    spec.onError.mode = exp::OnError::Mode::Skip;
+    const exp::ExperimentResults results = runner.run(spec, {});
+    // Every cell needs its workload's pipeline; with builds always
+    // failing, every cell fails -- but as contained error rows.
+    for (const auto &rec : results.cells()) {
+        ASSERT_TRUE(rec.valid);
+        EXPECT_TRUE(rec.failed);
+    }
+    EXPECT_EQ(results.cellsFailed, results.cells().size());
+}
+
+// --------------------------------------------------- timeout watchdog
+
+TEST_F(FaultTest, WatchdogCancelsOverrunningCell)
+{
+    exp::ExperimentRunner runner(2);
+    runner.setCellTimeout(150);
+    exp::ExperimentSpec spec;
+    spec.name = "timeout_grid";
+    spec.workloads = {"python"};
+    spec.policies = {"SRRIP"};
+    // A budget far beyond what 150 ms can simulate.
+    spec.options.maxInstructions = 2'000'000'000;
+    spec.onError.mode = exp::OnError::Mode::Skip;
+    const exp::ExperimentResults results = runner.run(spec, {});
+    ASSERT_EQ(results.cells().size(), 1u);
+    const auto &rec = results.cells()[0];
+    ASSERT_TRUE(rec.failed);
+    EXPECT_EQ(rec.errorCategory, "timeout");
+    EXPECT_EQ(results.cellsFailed, 1u);
+
+    // With the deadline lifted the same runner completes normally.
+    runner.setCellTimeout(0);
+    const exp::ExperimentResults after = runner.run(tinySpec(), {});
+    EXPECT_EQ(after.cellsFailed, 0u);
+}
+
+// ------------------------------------------------ trace error context
+
+TEST_F(FaultTest, ReaderCorruptionCarriesOffsetContext)
+{
+    const std::string file = "fault_corrupt.trrtrc";
+    std::ofstream(file, std::ios::binary) << "trriptrc";
+    trace::TraceReader reader(file);
+    ASSERT_FALSE(reader.valid());
+    EXPECT_NE(reader.error().find("byte offset"), std::string::npos)
+        << reader.error();
+    EXPECT_EQ(reader.errorCategory(), ErrorCategory::TraceCorrupt);
+    const SimError e = reader.makeError();
+    EXPECT_EQ(e.category(), ErrorCategory::TraceCorrupt);
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos)
+        << e.what();
+    std::remove(file.c_str());
+}
+
+TEST_F(FaultTest, MissingTraceWorkloadFailsAsContainedCell)
+{
+    exp::ExperimentRunner runner(1);
+    exp::ExperimentSpec spec;
+    spec.name = "missing_trace";
+    spec.workloads = {std::string(trace::kTracePrefix) +
+                      "/no/such/file.trrtrc"};
+    spec.policies = {"SRRIP"};
+    spec.options.maxInstructions = 100000;
+    spec.onError.mode = exp::OnError::Mode::Skip;
+    const exp::ExperimentResults results = runner.run(spec, {});
+    ASSERT_EQ(results.cells().size(), 1u);
+    const auto &rec = results.cells()[0];
+    ASSERT_TRUE(rec.failed);
+    EXPECT_EQ(rec.errorCategory, "trace_corrupt");
+    EXPECT_NE(rec.errorMessage.find("cannot open"), std::string::npos)
+        << rec.errorMessage;
+}
+
+// ------------------------------------------------------ pool shutdown
+
+TEST_F(FaultTest, PoolSurvivesFailedBatchesAndShutdownMidFailure)
+{
+    auto pool = std::make_unique<exp::WorkerPool>(2);
+    auto batch = pool->submit(8, [](std::size_t item,
+                                    exp::WorkerContext &) {
+        if (item % 2 == 0)
+            throw SimError(ErrorCategory::Internal,
+                           "item " + std::to_string(item));
+    });
+    batch->wait();
+    const auto failures = batch->failures();
+    EXPECT_EQ(failures.size(), 4u);
+    std::set<std::size_t> items;
+    for (const auto &[item, error] : failures) {
+        items.insert(item);
+        EXPECT_EQ(error.category(), ErrorCategory::Internal);
+    }
+    EXPECT_EQ(items, (std::set<std::size_t>{0, 2, 4, 6}));
+
+    // Non-SimError exceptions are wrapped, not fatal.
+    auto batch2 = pool->submit(2, [](std::size_t,
+                                     exp::WorkerContext &) {
+        throw std::runtime_error("plain exception");
+    });
+    batch2->wait();
+    EXPECT_EQ(batch2->failures().size(), 2u);
+    EXPECT_EQ(batch2->failures()[0].second.category(),
+              ErrorCategory::Internal);
+
+    // Destroy the pool with failure records still held by batches --
+    // the destructor must drain and join without std::terminate.
+    auto batch3 = pool->submit(4, [](std::size_t,
+                                     exp::WorkerContext &) {
+        throw SimError(ErrorCategory::Injected, "boom");
+    });
+    (void)batch3; // Deliberately not waited on.
+    pool.reset();
+    SUCCEED();
+}
+
+TEST_F(FaultTest, RunnerShutdownWithFailedGridInFlight)
+{
+    // A PendingRun dropped without wait() while its cells fail must
+    // not terminate on runner destruction.
+    FaultInjector::instance().configure("cell:1/1,seed=4");
+    {
+        exp::ExperimentRunner runner(2);
+        auto spec = tinySpec();
+        spec.onError.mode = exp::OnError::Mode::Skip;
+        exp::PendingRun pending = runner.submit(spec, {});
+        (void)pending;
+    }
+    SUCCEED();
+}
+
+// ------------------------------------------------------------ journal
+
+TEST_F(FaultTest, JournalRoundTripSkipsErrorAndTornLines)
+{
+    const std::string path = "fault_journal.jsonl";
+    std::remove(path.c_str());
+    {
+        exp::RunJournal journal(path);
+        ASSERT_TRUE(journal.valid());
+        exp::JournalEntry ok;
+        ok.cell = 0;
+        ok.workload = "python";
+        ok.policy = "SRRIP";
+        ok.config = "";
+        ok.attempts = 1;
+        ok.metrics = {{"ipc", 1.2345678901234567},
+                      {"cycles", 1e7}};
+        ok.resolvedPolicies = {{"L1I", "LRU"}, {"L2", "SRRIP(bits=2)"}};
+        journal.append(ok);
+
+        exp::JournalEntry bad;
+        bad.cell = 1;
+        bad.workload = "gcc";
+        bad.policy = "SRRIP";
+        bad.attempts = 3;
+        bad.failed = true;
+        bad.errorCategory = "injected";
+        bad.errorMessage = "injected fault at site cell";
+        journal.append(bad);
+    }
+    // A torn trailing line (the crash case) and a tampered line.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"cell\": 2, \"status\": \"ok\", \"work";
+    }
+
+    const auto loaded = exp::RunJournal::load(path);
+    ASSERT_EQ(loaded.size(), 1u); // Only the clean ok line.
+    const auto &entry = loaded.at(0);
+    EXPECT_EQ(entry.workload, "python");
+    EXPECT_EQ(entry.metrics.at("ipc"), 1.2345678901234567);
+    EXPECT_EQ(entry.metrics.at("cycles"), 1e7);
+    ASSERT_EQ(entry.resolvedPolicies.size(), 2u);
+    EXPECT_EQ(entry.resolvedPolicies[1].second, "SRRIP(bits=2)");
+
+    // Flipping a metric byte invalidates the fingerprint.
+    std::string text = slurp(path);
+    const auto pos = text.find("1.2345678901234567");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos] = '2';
+    std::ofstream(path, std::ios::binary) << text;
+    EXPECT_TRUE(exp::RunJournal::load(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, ResumeReproducesByteIdenticalBench)
+{
+    const std::string journal = "fault_resume.jsonl";
+    const std::string clean_json = "fault_resume_clean.json";
+    const std::string crashed_json = "fault_resume_crashed.json";
+    const std::string resumed_json = "fault_resume_resumed.json";
+    std::remove(journal.c_str());
+
+    // Uninterrupted reference run (no journal).
+    {
+        exp::ExperimentRunner runner(2);
+        exp::JsonSink sink(clean_json);
+        std::vector<exp::ResultSink *> sinks{&sink};
+        runner.run(tinySpec(), sinks);
+    }
+
+    // "Crashing" run: injected faults fail a subset of cells (Skip
+    // mode), so the journal holds ok lines only for the survivors.
+    std::uint64_t crashed_failed = 0;
+    {
+        FaultInjector::instance().configure("cell:1/2,seed=5");
+        exp::ExperimentRunner runner(2);
+        auto spec = tinySpec();
+        spec.onError.mode = exp::OnError::Mode::Skip;
+        spec.journal = journal;
+        exp::JsonSink sink(crashed_json);
+        std::vector<exp::ResultSink *> sinks{&sink};
+        const auto results = runner.run(spec, sinks);
+        crashed_failed = results.cellsFailed;
+        FaultInjector::instance().configure("");
+    }
+    ASSERT_GT(crashed_failed, 0u);
+
+    // Resume: the journaled survivors replay, the failed cells
+    // re-execute (injection now off), and the BENCH bytes must match
+    // the uninterrupted run exactly.
+    {
+        exp::ExperimentRunner runner(2);
+        auto spec = tinySpec();
+        spec.journal = journal;
+        exp::JsonSink sink(resumed_json);
+        std::vector<exp::ResultSink *> sinks{&sink};
+        const auto results = runner.run(spec, sinks);
+        EXPECT_EQ(results.cellsFailed, 0u);
+        EXPECT_GT(results.cellsResumed, 0u);
+        EXPECT_EQ(results.cellsResumed + crashed_failed,
+                  results.cells().size());
+    }
+    EXPECT_EQ(slurp(resumed_json), slurp(clean_json));
+    EXPECT_NE(slurp(crashed_json), slurp(clean_json));
+
+    std::remove(journal.c_str());
+    std::remove(clean_json.c_str());
+    std::remove(crashed_json.c_str());
+    std::remove(resumed_json.c_str());
+}
+
+} // namespace
+} // namespace trrip

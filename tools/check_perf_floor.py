@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fail when a PERF sidecar's throughput falls below its floors.
 
-Usage: check_perf_floor.py SIDECAR.json [FLOOR]
+Usage: check_perf_floor.py SIDECAR.json [FLOOR] [--bench FILE ...]
 
 Checks, in order (each only when the sidecar carries the field):
 
@@ -16,14 +16,23 @@ Checks, in order (each only when the sidecar carries the field):
 * ``golden_fingerprints.matched == golden_fingerprints.total`` and
   ``deterministic == true`` -- unconditional when present: a perf
   number measured over wrong simulation behavior is meaningless.
+* ``chaos`` block (bench/chaos's sidecar): faults were injected at
+  >= 3 distinct sites, every retried grid converged, and the
+  converged BENCH files were byte-identical to the fault-free run.
+* ``--bench FILE``: each named BENCH_*.json is scanned for error
+  rows.  The sidecar's ``error_rows.declared`` (default 0) is the
+  total the run expects across all --bench files; undeclared error
+  rows fail the check -- a cell silently failing in CI must never
+  read as a pass.
 
-Used by the release-perf CI jobs as coarse perf-regression tripwires:
-every floor must sit well below the measured baseline for the runner
-class, because short-budget CI runs on shared runners are noisy, and
-the scaling floor only means anything on a >= 4-core runner (set
+Used by the CI jobs as coarse regression tripwires: every floor must
+sit well below the measured baseline for the runner class, because
+short-budget CI runs on shared runners are noisy, and the scaling
+floor only means anything on a >= 4-core runner (set
 TRRIP_SCALING_FLOOR there only).
 """
 
+import argparse
 import json
 import os
 import sys
@@ -34,13 +43,25 @@ def fail(message: str) -> int:
     return 1
 
 
+def count_error_rows(path: str) -> int:
+    """Error rows in one BENCH json (cells carrying an error object)."""
+    with open(path, encoding="utf-8") as f:
+        bench = json.load(f)
+    return sum(1 for cell in bench.get("cells", []) if "error" in cell)
+
+
 def main() -> int:
-    if len(sys.argv) not in (2, 3):
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("sidecar")
+    parser.add_argument("floor", nargs="?", type=float, default=None)
+    parser.add_argument("--bench", action="append", default=[])
+    try:
+        args = parser.parse_args()
+    except SystemExit:
         print(__doc__, file=sys.stderr)
         return 2
-    path = sys.argv[1]
-    floor = float(sys.argv[2]) if len(sys.argv) == 3 else None
-    with open(path, encoding="utf-8") as f:
+    floor = args.floor
+    with open(args.sidecar, encoding="utf-8") as f:
         sidecar = json.load(f)
 
     status = 0
@@ -56,6 +77,38 @@ def main() -> int:
     if sidecar.get("deterministic") is False:
         status |= fail("the parallel pass diverged from the serial "
                        "pass -- scheduling leaked into simulation.")
+
+    chaos = sidecar.get("chaos")
+    if chaos is not None:
+        sites = chaos.get("sites_injected", 0)
+        print(f"chaos: {sites} sites injected, "
+              f"{chaos.get('total_fired', 0)} faults fired")
+        if sites < 3:
+            status |= fail(
+                f"faults were injected at only {sites} distinct sites "
+                "-- the chaos matrix must cover >= 3.")
+        if not chaos.get("converged", False):
+            status |= fail("a retried grid did not converge under "
+                           "injection -- retry containment is broken.")
+        if not chaos.get("bench_identical", False):
+            status |= fail(
+                "a converged run's BENCH files differ from the "
+                "fault-free run -- retries leaked into the output.")
+
+    if args.bench:
+        declared = sidecar.get("error_rows", {}).get("declared", 0)
+        found = 0
+        for bench_path in args.bench:
+            n = count_error_rows(bench_path)
+            found += n
+            print(f"{bench_path}: {n} error rows")
+        print(f"error rows: {found} found, {declared} declared")
+        if found != declared:
+            status |= fail(
+                f"{found} error rows across the BENCH files but the "
+                f"sidecar declares {declared} -- every contained "
+                "failure must be accounted for, and no run may "
+                "silently fail cells.")
 
     if floor is not None and "total" in sidecar:
         total = sidecar["total"]["minstr_per_sec"]
