@@ -18,6 +18,13 @@
  *  4. A high-rate Skip-mode run proves the accounting: every final
  *     cell failure appears as exactly one categorized error row.
  *
+ * Phase 3c pins SimMode::Fast (the block-level fetch memoization
+ * engine) on the same grid: a fault-free fast reference, then a
+ * faulty Retry run that must converge to byte-identical fast BENCH
+ * files.  The memo lives inside the per-attempt CoreModel, so a
+ * retried cell must not see stale memo state from its failed
+ * attempt; this phase is the regression gate for that.
+ *
  * Results stream to PERF_chaos.json; tools/check_perf_floor.py
  * enforces the chaos block and cross-checks declared error rows
  * against the BENCH files in CI.  Env knobs: TRRIP_JOBS,
@@ -296,6 +303,83 @@ main()
         }
     }
 
+    // ------------------------------------- 3c. fast-mode convergence
+    // Same Retry contract with the fast engine pinned via a config
+    // (independent of TRRIP_SIM_MODE, so CI always covers it).  The
+    // memo table is per-CoreModel and each attempt builds a fresh
+    // core; a faulty Retry grid must therefore converge to the exact
+    // bytes of a fault-free fast run.
+    bool fast_converged = true, fast_bench_identical = true;
+    {
+        const auto makeFastSpec = [&](const std::string &name) {
+            ExperimentSpec spec = makeSpec(name);
+            spec.configs.push_back({"fast", [](SimOptions &o) {
+                                        o.core.mode = SimMode::Fast;
+                                    }});
+            return spec;
+        };
+        FaultInjector::instance().configure("");
+        const std::string fast_ref_json =
+            resultsPath("BENCH_chaos_fast_ref.json");
+        {
+            ExperimentRunner runner;
+            ExperimentSpec spec = makeFastSpec("chaos_fast");
+            JsonSink json(fast_ref_json);
+            const ExperimentResults results = runner.run(spec, {&json});
+            printRunSummary(results);
+            if (results.cellsFailed != 0) {
+                std::printf("FAIL: fault-free fast run produced %llu "
+                            "error rows\n",
+                            static_cast<unsigned long long>(
+                                results.cellsFailed));
+                fast_converged = false;
+            }
+        }
+        const std::string fast_ref_bytes = slurp(fast_ref_json);
+
+        FaultInjector::instance().configure("cell:1/4,build:1/5,seed=17");
+        FaultInjector::instance().resetCounts();
+        {
+            const std::string out_json =
+                resultsPath("BENCH_chaos_fast_faulty.json");
+            ExperimentRunner runner;
+            ExperimentSpec spec = makeFastSpec("chaos_fast");
+            spec.onError.mode = OnError::Mode::Retry;
+            spec.onError.maxAttempts = 8;
+            JsonSink json(out_json);
+            const ExperimentResults results = runner.run(spec, {&json});
+            printRunSummary(results);
+            const std::uint64_t fired =
+                FaultInjector::instance().totalFired();
+            total_fired += fired;
+            std::printf("  fast config: %llu faults fired, %llu cells "
+                        "retried\n",
+                        static_cast<unsigned long long>(fired),
+                        static_cast<unsigned long long>(
+                            results.cellsRetried));
+            if (results.cellsFailed != 0 || fired == 0 ||
+                results.cellsRetried == 0) {
+                std::printf("FAIL: fast Retry run did not exercise "
+                            "convergence (failed=%llu fired=%llu "
+                            "retried=%llu)\n",
+                            static_cast<unsigned long long>(
+                                results.cellsFailed),
+                            static_cast<unsigned long long>(fired),
+                            static_cast<unsigned long long>(
+                                results.cellsRetried));
+                fast_converged = false;
+            }
+            if (fast_ref_bytes.empty() ||
+                slurp(out_json) != fast_ref_bytes) {
+                std::printf("FAIL: converged fast BENCH differs from "
+                            "the fault-free fast reference\n");
+                fast_bench_identical = false;
+            }
+        }
+        FaultInjector::instance().configure("");
+    }
+    all_ok = all_ok && fast_converged && fast_bench_identical;
+
     // ----------------------------------------- 4. skip accounting
     // High rates, no retries: the grid must still complete, and every
     // final failure must surface as exactly one categorized error row.
@@ -353,7 +437,11 @@ main()
              << ", \"total_fired\": " << total_fired
              << ", \"converged\": " << (converged ? "true" : "false")
              << ", \"bench_identical\": "
-             << (bench_identical ? "true" : "false") << "}\n}\n";
+             << (bench_identical ? "true" : "false")
+             << ", \"fast_mode_converged\": "
+             << (fast_converged ? "true" : "false")
+             << ", \"fast_bench_identical\": "
+             << (fast_bench_identical ? "true" : "false") << "}\n}\n";
         std::printf("wrote %s\n", path.c_str());
     }
 

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Exact-vs-fast differential bench: the verification subsystem of the
+ * opt-in fast simulation mode (block-level fetch memoization,
+ * sim/core_model.*).
+ *
+ * Four phases:
+ *
+ *  1. Exact sanity: every pinned golden tuple (16 proxy + the trace
+ *     replays) still fingerprints bit-identically on the exact
+ *     engine -- the memo machinery must cost nothing when off.
+ *  2. Differential: the same tuples run exact AND fast; instruction
+ *     totals must be equal (the event stream is consumer-independent
+ *     -- any difference is a bug, not drift), and the per-bucket
+ *     Top-Down drift, cycle drift, memo hit rate and invalidation
+ *     counts are reported per tuple.
+ *  3. Quiescence: configurations whose L1s/L2 are large enough that
+ *     no L1 line is ever evicted or back-invalidated.  There the one
+ *     permitted fast-mode divergence (replays skip the L1 policies'
+ *     onHit recency updates) provably cannot change behavior, so the
+ *     full golden fingerprint -- every counter plus the exact cycle
+ *     total -- must match bit for bit, with the memo demonstrably
+ *     engaged.  The bench hard-fails otherwise, and also fails if
+ *     the config turns out not to be quiescent (the gate must not
+ *     silently weaken).
+ *  4. Timing: the fig6 mix (all ten proxies x the throughput policy
+ *     set) on a serial runner, interleaved exact/fast rounds, best
+ *     of each -- the honest speedup number.
+ *
+ * Results go to PERF_fast_mode.json; tools/check_perf_floor.py
+ * enforces the quiescent bit-exactness, the per-bucket drift ceiling
+ * (TRRIP_FAST_DRIFT_PP) and the speedup floor
+ * (TRRIP_FAST_SPEEDUP_FLOOR) in CI.  Env knobs: TRRIP_INSTR_MILLIONS
+ * (timing budget), TRRIP_PERF_POLICIES, TRRIP_FAST_ROUNDS,
+ * TRRIP_TRACE_DIR, TRRIP_RESULTS_DIR.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/codesign.hh"
+#include "harness.hh"
+#include "sim/golden.hh"
+#include "trace/generate.hh"
+#include "trace/replay.hh"
+#include "util/logging.hh"
+#include "workloads/proxies.hh"
+
+namespace {
+
+using namespace trrip;
+using namespace trrip::exp;
+using namespace trrip::bench;
+
+std::string
+traceDir()
+{
+    const char *dir = std::getenv("TRRIP_TRACE_DIR");
+    return (dir && *dir) ? dir : "mini_traces";
+}
+
+std::string
+resultsPath(const std::string &file)
+{
+    const char *dir = std::getenv("TRRIP_RESULTS_DIR");
+    std::string base = (dir && *dir) ? dir : ".";
+    return base + "/" + file;
+}
+
+/** One exact-vs-fast comparison of a (label, policy) tuple. */
+struct DiffRow
+{
+    std::string label;
+    std::string policy;
+    double hitRate = 0.0;
+    std::uint64_t invalidations = 0;
+    double cyclesDriftPct = 0.0;
+    double maxBucketDriftPp = 0.0;
+    bool instructionsEqual = false;
+};
+
+/** Share of @p bucket in @p td, in percent (0 when the total is 0). */
+double
+share(const TopDown &td, double bucket)
+{
+    const double total = td.total();
+    return total > 0.0 ? bucket / total * 100.0 : 0.0;
+}
+
+/**
+ * Per-bucket drift in percentage points of total-cycle share.  Shares
+ * (not raw cycles) because the headline BENCH metrics are the td_*
+ * fractions; a bucket's share drifting by x pp means the reported
+ * Top-Down breakdown moves by x points.
+ */
+double
+maxBucketDriftPp(const TopDown &exact, const TopDown &fast)
+{
+    const double drifts[] = {
+        share(fast, fast.retire) - share(exact, exact.retire),
+        share(fast, fast.ifetch) - share(exact, exact.ifetch),
+        share(fast, fast.mispred) - share(exact, exact.mispred),
+        share(fast, fast.depend) - share(exact, exact.depend),
+        share(fast, fast.issue) - share(exact, exact.issue),
+        share(fast, fast.mem) - share(exact, exact.mem),
+        share(fast, fast.other) - share(exact, exact.other),
+    };
+    double max = 0.0;
+    for (double d : drifts)
+        max = std::max(max, std::abs(d));
+    return max;
+}
+
+DiffRow
+compare(const std::string &label, const std::string &policy,
+        const SimResult &exact, const SimResult &fast)
+{
+    DiffRow row;
+    row.label = label;
+    row.policy = policy;
+    row.hitRate = fast.fast.hitRate();
+    row.invalidations =
+        fast.fast.genInvalidations + fast.fast.branchInvalidations;
+    row.cyclesDriftPct =
+        exact.cycles > 0.0
+            ? std::abs(fast.cycles - exact.cycles) / exact.cycles * 100.0
+            : 0.0;
+    row.maxBucketDriftPp = maxBucketDriftPp(exact.topdown, fast.topdown);
+    row.instructionsEqual = exact.instructions == fast.instructions;
+    return row;
+}
+
+/** c.options() with the fidelity mode pinned. */
+template <typename Case>
+SimOptions
+optionsIn(const Case &c, SimMode mode)
+{
+    SimOptions opts = c.options();
+    opts.core.mode = mode;
+    return opts;
+}
+
+/** The quiescence geometry: no L1 eviction or back-invalidation can
+ *  ever fire at golden budgets, so fast must be bit-exact. */
+SimOptions
+quiescentOptions(SimMode mode)
+{
+    SimOptions opts;
+    opts.maxInstructions = kGoldenBudget;
+    opts.hier.l1i = CacheGeometry{"L1I", 8 * 1024 * 1024, 16, 64};
+    opts.hier.l1d = CacheGeometry{"L1D", 8 * 1024 * 1024, 16, 64};
+    opts.hier.l2 = CacheGeometry{"L2", 32 * 1024 * 1024, 16, 64};
+    opts.hier.slc = CacheGeometry{"SLC", 64 * 1024 * 1024, 16, 64};
+    opts.core.mode = mode;
+    return opts;
+}
+
+/** True iff the exact run proves the config really was quiescent. */
+bool
+isQuiescent(const SimResult &exact)
+{
+    return exact.l1i.evictions == 0 && exact.l1d.evictions == 0 &&
+           exact.l1i.invalidations == 0 && exact.l1d.invalidations == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fast_mode: exact-vs-fast differential harness");
+
+    const std::string dir = traceDir();
+    const std::vector<std::string> pack =
+        trace::generateMiniTracePack(dir);
+    bool all_ok = true;
+
+    // ------------------------- 1 + 2. exact sanity and differential
+    std::size_t golden_total = 0, golden_matched = 0;
+    std::vector<DiffRow> rows;
+    bool instructions_equal = true;
+    std::printf("%-28s %-10s %8s %10s %10s %10s\n", "tuple", "policy",
+                "hit%", "invals", "cyc-drift%", "bucket-pp");
+    for (const GoldenCase &c : goldenCases()) {
+        CoDesignPipeline pipeline(proxyParams(c.workload));
+        const RunArtifacts exact =
+            pipeline.run(c.policy, optionsIn(c, SimMode::Exact));
+        ++golden_total;
+        golden_matched += goldenFingerprint(exact.result) == c.expected;
+        const RunArtifacts fast =
+            pipeline.run(c.policy, optionsIn(c, SimMode::Fast));
+        rows.push_back(compare(c.workload, c.policy, exact.result,
+                               fast.result));
+    }
+    for (const TraceGoldenCase &c : traceGoldenCases()) {
+        const std::string path = trace::miniTracePath(dir, c.trace);
+        const RunArtifacts exact = trace::runTrace(
+            path, c.policy, optionsIn(c, SimMode::Exact));
+        ++golden_total;
+        golden_matched += goldenFingerprint(exact.result) == c.expected;
+        const RunArtifacts fast = trace::runTrace(
+            path, c.policy, optionsIn(c, SimMode::Fast));
+        rows.push_back(compare(std::string("trace:") + c.trace,
+                               c.policy, exact.result, fast.result));
+    }
+    double max_bucket_pp = 0.0, max_cycles_pct = 0.0;
+    for (const DiffRow &row : rows) {
+        std::printf("%-28s %-10s %8.2f %10llu %10.4f %10.4f\n",
+                    row.label.c_str(), row.policy.c_str(),
+                    row.hitRate * 100.0,
+                    static_cast<unsigned long long>(row.invalidations),
+                    row.cyclesDriftPct, row.maxBucketDriftPp);
+        max_bucket_pp = std::max(max_bucket_pp, row.maxBucketDriftPp);
+        max_cycles_pct = std::max(max_cycles_pct, row.cyclesDriftPct);
+        instructions_equal = instructions_equal && row.instructionsEqual;
+    }
+    std::printf("golden fingerprints (exact engine): %zu/%zu matched\n",
+                golden_matched, golden_total);
+    if (golden_matched != golden_total) {
+        std::printf("FAIL: the exact engine changed\n");
+        all_ok = false;
+    }
+    if (!instructions_equal) {
+        std::printf("FAIL: an instruction total differed between modes "
+                    "-- the event stream is consumer-independent, so "
+                    "this is a bug, not drift\n");
+        all_ok = false;
+    }
+
+    // ------------------------------------------------ 3. quiescence
+    struct QuiescentCase
+    {
+        std::string label;   //!< Proxy name or trace path.
+        const char *policy;
+        bool isTrace;
+    };
+    std::vector<QuiescentCase> qcases = {
+        {"python", "SRRIP", false},   {"python", "TRRIP-2", false},
+        {"gcc", "SRRIP", false},      {"gcc", "TRRIP-2", false},
+        {"clang", "SRRIP", false},    {"clang", "TRRIP-2", false},
+    };
+    // The streaming mini trace is deliberately one-pass -- no block
+    // ever re-executes, so "memo engaged" is unattainable there (its
+    // exact-vs-fast agreement is covered by the differential phase).
+    // The dispatch trace re-executes its handler blocks constantly.
+    for (const std::string &path : pack) {
+        if (path.find("streaming") == std::string::npos)
+            qcases.push_back({path, "SRRIP", true});
+    }
+    std::size_t q_exact_matches = 0, q_valid = 0;
+    double q_min_hit_rate = 1.0;
+    for (const QuiescentCase &q : qcases) {
+        RunArtifacts exact, fast;
+        if (q.isTrace) {
+            exact = trace::runTrace(q.label, q.policy,
+                                    quiescentOptions(SimMode::Exact));
+            fast = trace::runTrace(q.label, q.policy,
+                                   quiescentOptions(SimMode::Fast));
+        } else {
+            CoDesignPipeline pipeline(proxyParams(q.label));
+            exact = pipeline.run(q.policy,
+                                 quiescentOptions(SimMode::Exact));
+            fast = pipeline.run(q.policy,
+                                quiescentOptions(SimMode::Fast));
+        }
+        const bool quiescent = isQuiescent(exact.result);
+        const bool engaged = fast.result.fast.hits > 0;
+        const bool equal = goldenFingerprint(exact.result) ==
+                           goldenFingerprint(fast.result);
+        q_valid += quiescent && engaged;
+        q_exact_matches += quiescent && engaged && equal;
+        q_min_hit_rate =
+            std::min(q_min_hit_rate, fast.result.fast.hitRate());
+        if (!quiescent || !engaged || !equal) {
+            std::printf("quiescent %-24s %-10s: %s\n", q.label.c_str(),
+                        q.policy,
+                        !quiescent ? "NOT QUIESCENT (enlarge the "
+                                     "geometry)"
+                        : !engaged ? "memo never hit"
+                                   : "FINGERPRINT MISMATCH");
+        }
+    }
+    const bool quiescent_bit_exact =
+        q_valid == qcases.size() && q_exact_matches == qcases.size();
+    std::printf("quiescent configs: %zu/%zu bit-exact (min hit rate "
+                "%.1f%%)\n",
+                q_exact_matches, qcases.size(),
+                q_min_hit_rate * 100.0);
+    if (!quiescent_bit_exact) {
+        std::printf("FAIL: fast mode must be bit-exact when no "
+                    "invalidation condition can fire\n");
+        all_ok = false;
+    }
+
+    // ---------------------------------------------------- 4. timing
+    ExperimentSpec spec;
+    spec.name = "fast_mode_timing";
+    spec.title = "fig6 mix, exact vs fast (serial)";
+    spec.workloads = proxyNames();
+    spec.options = defaultOptions();
+    ExperimentRunner runner(1);
+
+    // Warm-up: fill the shared profile cache so the timed passes
+    // measure simulation only.
+    spec.policies = {"SRRIP"};
+    runner.run(spec, {});
+
+    banner(spec.title);
+    spec.policies = envList(
+        "TRRIP_PERF_POLICIES",
+        {"SRRIP", "LRU", "DRRIP", "SHiP", "TRRIP-2"});
+    int rounds = 2;
+    if (const char *r = std::getenv("TRRIP_FAST_ROUNDS"))
+        rounds = std::max(1, std::atoi(r));
+
+    struct ModeTiming
+    {
+        const char *label;
+        SimMode mode;
+        std::uint64_t instructions = 0;
+        double bestWallSeconds = 0.0;
+        double hitRate = 0.0;
+
+        double
+        minstrPerSec() const
+        {
+            return bestWallSeconds > 0.0
+                       ? static_cast<double>(instructions) / 1e6 /
+                             bestWallSeconds
+                       : 0.0;
+        }
+    };
+    ModeTiming modes[2] = {{"exact", SimMode::Exact, 0, 0.0, 0.0},
+                           {"fast", SimMode::Fast, 0, 0.0, 0.0}};
+    for (int round = 0; round < rounds; ++round) {
+        for (ModeTiming &m : modes) {
+            const SimMode mode = m.mode;
+            spec.configs.clear();
+            spec.configs.push_back({m.label, [mode](SimOptions &o) {
+                                        o.core.mode = mode;
+                                    }});
+            const ExperimentResults results = runner.run(spec, {});
+            std::uint64_t instr = 0, lookups = 0, hits = 0;
+            for (const CellRecord &cell : results.cells()) {
+                if (!cell.valid)
+                    continue;
+                instr += cell.result().instructions;
+                lookups += cell.result().fast.lookups;
+                hits += cell.result().fast.hits;
+            }
+            m.instructions = instr;
+            if (lookups > 0) {
+                m.hitRate = static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+            }
+            if (m.bestWallSeconds == 0.0 ||
+                results.wallSeconds < m.bestWallSeconds) {
+                m.bestWallSeconds = results.wallSeconds;
+            }
+        }
+    }
+    const double speedup =
+        modes[0].minstrPerSec() > 0.0
+            ? modes[1].minstrPerSec() / modes[0].minstrPerSec()
+            : 0.0;
+    for (const ModeTiming &m : modes) {
+        std::printf("%-6s %8.2f Minstr in %7.2f s -> %7.2f Minstr/s"
+                    " (memo hit rate %.1f%%)\n",
+                    m.label,
+                    static_cast<double>(m.instructions) / 1e6,
+                    m.bestWallSeconds, m.minstrPerSec(),
+                    m.hitRate * 100.0);
+    }
+    std::printf("fast / exact speedup: %.3fx\n", speedup);
+
+    // ------------------------------------------------- PERF sidecar
+    const std::string path = resultsPath("PERF_fast_mode.json");
+    {
+        std::ofstream out(path);
+        fatal_if(!out, "cannot open ", path, " for writing");
+        char buf[320];
+        out << "{\n  \"bench\": \"fast_mode\",\n";
+        out << "  \"golden_fingerprints\": {\"total\": " << golden_total
+            << ", \"matched\": " << golden_matched << "},\n";
+        out << "  \"differential\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const DiffRow &row = rows[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"tuple\": \"%s\", \"policy\": \"%s\", "
+                "\"hit_rate\": %.4f, \"invalidations\": %llu, "
+                "\"cycles_drift_pct\": %.6f, "
+                "\"max_bucket_drift_pp\": %.6f}%s\n",
+                row.label.c_str(), row.policy.c_str(), row.hitRate,
+                static_cast<unsigned long long>(row.invalidations),
+                row.cyclesDriftPct, row.maxBucketDriftPp,
+                i + 1 < rows.size() ? "," : "");
+            out << buf;
+        }
+        out << "  ],\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  \"drift\": {\"max_bucket_drift_pp\": %.6f, "
+                      "\"max_cycles_drift_pct\": %.6f, "
+                      "\"instructions_equal\": %s},\n",
+                      max_bucket_pp, max_cycles_pct,
+                      instructions_equal ? "true" : "false");
+        out << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  \"quiescent\": {\"cases\": %zu, "
+                      "\"bit_exact\": %s, \"min_hit_rate\": %.4f},\n",
+                      qcases.size(),
+                      quiescent_bit_exact ? "true" : "false",
+                      q_min_hit_rate);
+        out << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"fast_mode\": {\"budget_instructions\": %llu, "
+            "\"exact_minstr_per_sec\": %.3f, "
+            "\"fast_minstr_per_sec\": %.3f, \"speedup\": %.4f, "
+            "\"hit_rate\": %.4f}\n}\n",
+            static_cast<unsigned long long>(
+                resolveBudget(spec.options)),
+            modes[0].minstrPerSec(), modes[1].minstrPerSec(), speedup,
+            modes[1].hitRate);
+        out << buf;
+    }
+    std::printf("wrote %s\n", path.c_str());
+
+    std::printf("%s\n", all_ok ? "fast_mode: PASS" : "fast_mode: FAIL");
+    return all_ok ? 0 : 1;
+}

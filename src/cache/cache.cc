@@ -21,7 +21,8 @@ Cache::Cache(const CacheGeometry &geom,
     geom_(geom), assoc_(geom.assoc), policy_(std::move(policy)),
     tags_(static_cast<std::size_t>(geom.numSets()) * geom.assoc, 0),
     meta_(tags_.size(), 0),
-    freeWays_(geom.numSets(), geom.assoc)
+    freeWays_(geom.numSets(), geom.assoc),
+    setGen_(geom.numSets(), 0)
 {
     geom_.check();
     panic_if(!policy_, geom_.name, ": null replacement policy");
@@ -137,6 +138,7 @@ Cache::accessInvalidateWith(Policy &pol, const MemRequest &req)
         tags_[idx] = 0;
         meta_[idx] = 0;
         ++freeWays_[set];
+        ++setGen_[set];
         ++stats_.invalidations;
     }
     return hit;
@@ -229,6 +231,7 @@ Cache::fillWith(Policy &pol, const MemRequest &req,
         evicted.addr = ((tags_[base + way] >> 1) << tagShift_) |
                        (static_cast<Addr>(set) << lineShift_);
         evicted.meta = vmeta;
+        ++setGen_[set];
     }
 
     // The policy re-initializes its own per-way state in onFill().
@@ -282,6 +285,7 @@ Cache::invalidate(Addr paddr)
     tags_[idx] = 0;
     meta_[idx] = 0;
     ++freeWays_[set];
+    ++setGen_[set];
     ++stats_.invalidations;
     return copy;
 }
@@ -301,6 +305,10 @@ Cache::reset()
     tags_.assign(tags_.size(), 0);
     meta_.assign(meta_.size(), 0);
     freeWays_.assign(freeWays_.size(), assoc_);
+    // Resident lines all left; any snapshotted generation must go
+    // stale, so every set advances rather than rewinding to zero.
+    for (auto &g : setGen_)
+        ++g;
     policy_->resetState();
     stats_ = CacheStats();
 }

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/error.hh"
+#include "util/hash.hh"
 
 namespace trrip {
 
@@ -19,16 +20,6 @@ struct ScopeState
 };
 
 thread_local ScopeState tlScope;
-
-//! SplitMix64 finalizer: full-avalanche mix of a 64-bit value.
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
 
 } // namespace
 
@@ -151,14 +142,15 @@ FaultInjector::shouldFail(FaultSite site)
     // fall back to a global per-site counter.
     std::uint64_t key, ordinal;
     if (tlScope.active) {
-        key = mix64(tlScope.key * 0x100000001b3ULL + tlScope.attempt);
+        key = splitMix64(tlScope.key * 0x100000001b3ULL + tlScope.attempt);
         ordinal = tlScope.count[s]++;
     } else {
         key = 0;
         ordinal = globalCount_[s].fetch_add(1, std::memory_order_relaxed);
     }
-    std::uint64_t h = mix64(seed_ ^ mix64(key ^ (std::uint64_t(s) << 56)));
-    h = mix64(h ^ ordinal);
+    std::uint64_t h =
+        splitMix64(seed_ ^ splitMix64(key ^ (std::uint64_t(s) << 56)));
+    h = splitMix64(h ^ ordinal);
 
     if (h % rate.denom >= rate.num)
         return false;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace trrip {
@@ -25,17 +26,12 @@ namespace trrip {
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    explicit Rng(std::uint64_t seed = kSplitMix64Gamma)
     {
         // SplitMix64 seeding as recommended by the xoshiro authors.
         std::uint64_t x = seed;
-        for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
-        }
+        for (auto &word : state_)
+            word = splitMix64Next(x);
     }
 
     /** Next raw 64-bit value. */

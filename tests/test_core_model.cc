@@ -100,8 +100,20 @@ struct Rig
                  BackendParams backend = BackendParams{}) :
         source(std::move(script)), pt(4096), mmu(pt),
         branch(BranchParams{}), hier(hp),
-        model(source, hier, mmu, branch, core, backend)
+        model(source, hier, mmu, branch, exact(core), backend)
     {}
+
+    /**
+     * Every assertion here is a hand-computed exact-engine number;
+     * pin the mode so the suite holds under TRRIP_SIM_MODE=fast (the
+     * sanitizer CI runs the golden label that way).
+     */
+    static CoreParams
+    exact(CoreParams core)
+    {
+        core.mode = SimMode::Exact;
+        return core;
+    }
 
     ScriptSource source;
     PageTable pt;

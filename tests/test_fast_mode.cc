@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Fast-mode (block-level fetch memoization) invalidation suite.
+ *
+ * Each test hand-builds a scripted block stream that forces exactly
+ * one invalidation trigger -- eviction of a memoized block's line,
+ * back-invalidation by the inclusive L2's eviction cascade, branch
+ * predictor retraining, cancel-token interruption -- and then proves
+ * two things on the same stream:
+ *
+ *  1. the trigger actually fired (the corresponding FastSimStats
+ *     counter advanced), so the test cannot pass vacuously, and
+ *  2. the fast run's result is bit-identical to the exact run's
+ *     (goldenFingerprint folds every counter plus the exact cycle
+ *     total), i.e. a discarded memo entry is never trusted.
+ *
+ * The streams are built so that every replay that does happen is
+ * provably exact (no L1 eviction pressure on the replayed sets), so
+ * any fingerprint divergence here is an invalidation bug, not the
+ * documented recency drift -- that is bench/fast_mode's territory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictors.hh"
+#include "cache/hierarchy.hh"
+#include "sim/core_model.hh"
+#include "sim/golden.hh"
+#include "sw/mmu.hh"
+#include "sw/page_table.hh"
+#include "util/error.hh"
+
+namespace trrip {
+namespace {
+
+/** Scripted event source: replays a fixed list, cycling at the end. */
+class ScriptSource final : public BBEventSource
+{
+  public:
+    explicit ScriptSource(std::vector<BBEvent> script) :
+        script_(std::move(script))
+    {}
+
+    void
+    produce(BBEvent *ring, std::uint32_t mask, std::uint32_t pos,
+            std::uint32_t count) override
+    {
+        for (std::uint32_t k = 0; k < count; ++k) {
+            ring[(pos + k) & mask] = script_[next_ % script_.size()];
+            ++next_;
+        }
+    }
+
+  private:
+    std::vector<BBEvent> script_;
+    std::size_t next_ = 0;
+};
+
+BBEvent
+block(Addr vaddr, std::uint32_t instrs)
+{
+    BBEvent ev;
+    ev.bb = static_cast<std::uint32_t>(vaddr >> 6);
+    ev.vaddr = vaddr;
+    ev.instrs = instrs;
+    ev.bytes = instrs * 4;
+    return ev;
+}
+
+BBEvent
+branchBlock(Addr vaddr, std::uint32_t instrs, Addr target)
+{
+    BBEvent ev = block(vaddr, instrs);
+    ev.hasBranch = true;
+    ev.branch.pc = vaddr + ev.bytes - 4;
+    ev.branch.target = target;
+    ev.branch.taken = true;
+    ev.branch.conditional = false;
+    return ev;
+}
+
+HierarchyParams
+tinyHier()
+{
+    HierarchyParams hp;
+    hp.l1i = CacheGeometry{"L1I", 2 * 1024, 2, 64};
+    hp.l1d = CacheGeometry{"L1D", 2 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 8 * 1024, 4, 64};
+    hp.slc = CacheGeometry{"SLC", 32 * 1024, 8, 64};
+    hp.enablePrefetch = false;
+    return hp;
+}
+
+/** FDIP prefetch fills would perturb the hand-built residency plans. */
+CoreParams
+coreIn(SimMode mode)
+{
+    CoreParams core;
+    core.fdipEnabled = false;
+    core.mode = mode;
+    return core;
+}
+
+/** One simulation over a scripted stream; everything test-owned. */
+struct Rig
+{
+    Rig(std::vector<BBEvent> script, HierarchyParams hp, SimMode mode) :
+        source(std::move(script)), pt(4096), mmu(pt),
+        branch(BranchParams{}), hier(hp),
+        model(source, hier, mmu, branch, coreIn(mode), BackendParams{})
+    {}
+
+    ScriptSource source;
+    PageTable pt;
+    Mmu mmu;
+    BranchUnit branch;
+    CacheHierarchy hier;
+    CoreModel model;
+};
+
+/** Run @p script in both modes and return (exact, fast) results. */
+std::pair<SimResult, SimResult>
+bothModes(const std::vector<BBEvent> &script, const HierarchyParams &hp,
+          InstCount budget)
+{
+    Rig exact(script, hp, SimMode::Exact);
+    Rig fast(script, hp, SimMode::Fast);
+    return {exact.model.run(budget), fast.model.run(budget)};
+}
+
+// ------------------------------------------------------------------
+// Baseline behavior of the mode axis itself.
+
+TEST(FastMode, ExactModeKeepsTheMemoIdle)
+{
+    Rig rig({block(0x10000, 8)}, tinyHier(), SimMode::Exact);
+    const SimResult res = rig.model.run(400);
+    EXPECT_EQ(res.fast.lookups, 0u);
+    EXPECT_EQ(res.fast.records, 0u);
+    EXPECT_EQ(res.fast.hits, 0u);
+}
+
+TEST(FastMode, QuiescentReplayIsBitExact)
+{
+    // Four single-line blocks in distinct L1I sets, one of them with
+    // two fixed-address loads: everything fits, no set ever evicts,
+    // so after the cold pass every event is eligible and the memo
+    // replays the steady state.  The fingerprint (every counter plus
+    // the exact cycle total) must match the exact engine bit for bit.
+    BBEvent loads = block(0x100C0, 6);
+    loads.numData = 2;
+    loads.data[0] = {0x40000, 0x100C4, false, false};
+    loads.data[1] = {0x40040, 0x100C8, true, false};
+    const std::vector<BBEvent> script = {
+        block(0x10000, 8), block(0x10040, 5), loads,
+        block(0x10100, 7),
+    };
+    const auto [exact, fast] = bothModes(script, tinyHier(), 26 * 60);
+
+    EXPECT_EQ(goldenFingerprint(fast), goldenFingerprint(exact));
+    EXPECT_EQ(fast.instructions, exact.instructions);
+    EXPECT_EQ(fast.cycles, exact.cycles);
+    EXPECT_GT(fast.fast.hits, 0u);
+    EXPECT_EQ(fast.fast.genInvalidations, 0u);
+    EXPECT_EQ(fast.fast.branchInvalidations, 0u);
+    // Replay credits must keep the access counters identical too.
+    EXPECT_EQ(fast.l1i.demandAccesses, exact.l1i.demandAccesses);
+    EXPECT_EQ(fast.l1d.demandAccesses, exact.l1d.demandAccesses);
+    EXPECT_EQ(fast.tlb.accesses, exact.tlb.accesses);
+}
+
+// ------------------------------------------------------------------
+// Trigger 1: eviction of a memoized block's line.
+
+TEST(FastMode, EvictionOfMemoizedLineInvalidates)
+{
+    // Direct-mapped 1 kB L1I (16 sets).  X spans two lines (sets 0
+    // and 1); Y is one line in set 0, 1 kB away.  The cycle
+    // [X, X, X, Y] means: X's second execution proves both lines
+    // resident, the third records/replays, then Y evicts X's first
+    // line from set 0 -- bumping the set generation -- so X's entry
+    // must be discarded on the next lap, not replayed.
+    HierarchyParams hp = tinyHier();
+    hp.l1i = CacheGeometry{"L1I", 1024, 1, 64};
+    const BBEvent x = block(0x10000, 20);  // 80 B: lines 0x10000/40.
+    const BBEvent y = block(0x10400, 8);   // Same L1I set as 0x10000.
+    const std::vector<BBEvent> script = {x, x, x, y};
+    const auto [exact, fast] = bothModes(script, hp, 68 * 40);
+
+    EXPECT_EQ(goldenFingerprint(fast), goldenFingerprint(exact));
+    EXPECT_GT(fast.fast.genInvalidations, 0u);
+    EXPECT_GT(fast.fast.hits, 0u);
+    // The trigger really was eviction pressure, not anything else.
+    EXPECT_GT(exact.l1i.evictions, 0u);
+}
+
+// ------------------------------------------------------------------
+// Trigger 2: back-invalidation by the inclusive L2 eviction cascade.
+
+TEST(FastMode, BackInvalidationFromOuterLevelInvalidates)
+{
+    // The L1I (16 kB, 128 sets) dwarfs a direct-mapped 2 kB L2
+    // (32 sets), so lines resident and *hitting* in the L1I get
+    // thrown out from below: A, B and C all occupy L2 sets 0-1 but
+    // distinct L1I sets, and each block's cold fetch evicts its
+    // predecessor's lines from the L2, whose inclusive cascade
+    // back-invalidates them out of the L1I.  No L1I eviction ever
+    // happens -- the only way a memoized line disappears is the
+    // back-invalidation path, which must bump the set generation.
+    HierarchyParams hp = tinyHier();
+    hp.l1i = CacheGeometry{"L1I", 16 * 1024, 2, 64};
+    hp.l2 = CacheGeometry{"L2", 2 * 1024, 1, 64};
+    const BBEvent a = block(0x20000, 20);  // L2 sets 0-1, L1I 0-1.
+    const BBEvent b = block(0x20800, 20);  // L2 sets 0-1, L1I 32-33.
+    const BBEvent c = block(0x21000, 20);  // L2 sets 0-1, L1I 64-65.
+    const std::vector<BBEvent> script = {a, a, a, b, b, b, c, c, c};
+    const auto [exact, fast] = bothModes(script, hp, 180 * 30);
+
+    EXPECT_EQ(goldenFingerprint(fast), goldenFingerprint(exact));
+    EXPECT_GT(fast.fast.genInvalidations, 0u);
+    EXPECT_GT(fast.fast.hits, 0u);
+    // The residency loss came from below: back-invalidations, with
+    // zero L1I-initiated evictions.
+    EXPECT_GT(exact.l1i.invalidations, 0u);
+    EXPECT_EQ(exact.l1i.evictions, 0u);
+}
+
+// ------------------------------------------------------------------
+// Trigger 3: branch predictor retraining.
+
+TEST(FastMode, PredictorRetrainInvalidates)
+{
+    // Two unconditional taken branches whose PCs alias in the
+    // 1024-entry pc>>2-indexed BTB (4 kB apart): each displaces the
+    // other's target entry, advancing the branch-unit generation, so
+    // branch-carrying memo entries recorded before the displacement
+    // must be discarded.
+    // 18 instructions = 72 bytes so each block spans two lines: a
+    // block contained in the previously fetched line bypasses the
+    // memo outright (the exact fetch loop is a no-op for it).
+    const BBEvent bra = branchBlock(0x30000, 18, 0x30000);
+    const BBEvent brb = branchBlock(0x31000, 18, 0x31000);
+    const std::vector<BBEvent> script = {bra, bra, bra, brb};
+    const auto [exact, fast] = bothModes(script, tinyHier(), 32 * 40);
+
+    EXPECT_EQ(goldenFingerprint(fast), goldenFingerprint(exact));
+    EXPECT_GT(fast.fast.branchInvalidations, 0u);
+    EXPECT_GT(fast.fast.hits, 0u);
+    EXPECT_EQ(exact.branch.branches, fast.branch.branches);
+    EXPECT_EQ(exact.branch.mispredicts, fast.branch.mispredicts);
+}
+
+TEST(FastMode, RetrainCounterIsVisibleToTheMemo)
+{
+    // Unit-level check of the generation source itself: aliasing
+    // updates advance BranchUnit::generation(), same-PC updates
+    // do not.
+    Rig rig({block(0x10000, 4)}, tinyHier(), SimMode::Exact);
+    BranchInfo info;
+    info.pc = 0x40010;
+    info.target = 0x41000;
+    info.taken = true;
+    rig.branch.predictAndUpdate(info);
+    rig.branch.predictAndUpdate(info);
+    const std::uint64_t before = rig.branch.generation();
+    info.pc = 0x40010 + 4096;  // Aliases in the 1024-entry BTB.
+    rig.branch.predictAndUpdate(info);
+    EXPECT_GT(rig.branch.generation(), before);
+}
+
+// ------------------------------------------------------------------
+// Trigger 4: cancel-token interruption.
+
+TEST(FastMode, CancelledRunThrowsAndAFreshAttemptMatchesExact)
+{
+    // The watchdog's cooperative cancellation unwinds out of run()
+    // between event batches.  A retried attempt gets a fresh
+    // CoreModel (the memo is per-instance state), so nothing recorded
+    // before the interruption may leak into the retry: a fresh fast
+    // run must still be bit-identical to a fresh exact run.
+    const std::vector<BBEvent> script = {
+        block(0x10000, 8), block(0x10040, 5), block(0x10080, 7),
+    };
+    CancelToken token;
+    {
+        Rig rig(script, tinyHier(), SimMode::Fast);
+        rig.model.setCancelToken(&token);
+        // Populate the memo with a completed partial run, then cancel
+        // mid-flight: the next batch refill must throw.
+        const SimResult partial = rig.model.run(20 * 20);
+        EXPECT_GT(partial.fast.records, 0u);
+        token.cancel();
+        EXPECT_THROW(rig.model.run(20 * 200), SimError);
+    }
+    token.rearm();
+    const auto [exact, fast] = bothModes(script, tinyHier(), 20 * 60);
+    EXPECT_EQ(goldenFingerprint(fast), goldenFingerprint(exact));
+    EXPECT_GT(fast.fast.hits, 0u);
+}
+
+} // namespace
+} // namespace trrip
