@@ -137,6 +137,8 @@ Cache::accessInvalidateWith(Policy &pol, const MemRequest &req)
         pol.onHit(set, static_cast<std::uint32_t>(way), req);
         tags_[idx] = 0;
         meta_[idx] = 0;
+        if (!owners_.empty())
+            owners_[idx] = 0;
         ++freeWays_[set];
         ++setGen_[set];
         ++stats_.invalidations;
@@ -193,7 +195,7 @@ Cache::markPriority(Addr paddr)
 template <class Policy>
 Cache::Victim
 Cache::fillWith(Policy &pol, const MemRequest &req,
-                std::uint8_t extra_meta)
+                std::uint8_t extra_meta, std::uint32_t owner_bits)
 {
     const std::uint32_t set = setOf(req.paddr);
     const Addr tag = tagOf(req.paddr);
@@ -231,6 +233,8 @@ Cache::fillWith(Policy &pol, const MemRequest &req,
         evicted.addr = ((tags_[base + way] >> 1) << tagShift_) |
                        (static_cast<Addr>(set) << lineShift_);
         evicted.meta = vmeta;
+        if (!owners_.empty())
+            evicted.owner = owners_[base + way];
         ++setGen_[set];
     }
 
@@ -240,6 +244,8 @@ Cache::fillWith(Policy &pol, const MemRequest &req,
         packLineMeta(req.isWrite(), req.isInst(),
                      req.isInst() ? req.temp : Temperature::None) |
         extra_meta;
+    if (!owners_.empty())
+        owners_[base + way] = owner_bits;
 
     ++stats_.fills;
     if (req.isPrefetch())
@@ -249,10 +255,12 @@ Cache::fillWith(Policy &pol, const MemRequest &req,
 }
 
 Cache::Victim
-Cache::fillProbe(const MemRequest &req, std::uint8_t extra_meta)
+Cache::fillProbe(const MemRequest &req, std::uint8_t extra_meta,
+                 std::uint32_t owner_bits)
 {
-    return dispatch(
-        [&](auto &pol) { return fillWith(pol, req, extra_meta); });
+    return dispatch([&](auto &pol) {
+        return fillWith(pol, req, extra_meta, owner_bits);
+    });
 }
 
 std::optional<CacheLine>
@@ -284,10 +292,85 @@ Cache::invalidate(Addr paddr)
     const CacheLine copy = materialize(set, idx);
     tags_[idx] = 0;
     meta_[idx] = 0;
+    if (!owners_.empty())
+        owners_[idx] = 0;
     ++freeWays_[set];
     ++setGen_[set];
     ++stats_.invalidations;
     return copy;
+}
+
+Cache::Victim
+Cache::invalidateRaw(Addr paddr)
+{
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way < 0)
+        return Victim{};
+    const std::size_t idx = static_cast<std::size_t>(set) * assoc_ +
+                            static_cast<std::uint32_t>(way);
+    Victim v;
+    v.valid = true;
+    v.addr = ((tags_[idx] >> 1) << tagShift_) |
+             (static_cast<Addr>(set) << lineShift_);
+    v.meta = meta_[idx];
+    tags_[idx] = 0;
+    meta_[idx] = 0;
+    if (!owners_.empty()) {
+        v.owner = owners_[idx];
+        owners_[idx] = 0;
+    }
+    ++freeWays_[set];
+    ++setGen_[set];
+    ++stats_.invalidations;
+    return v;
+}
+
+void
+Cache::enableOwnerMasks()
+{
+    if (owners_.empty())
+        owners_.assign(tags_.size(), 0);
+}
+
+bool
+Cache::stampOwner(Addr paddr, std::uint32_t bits)
+{
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way < 0)
+        return false;
+    orOwner(set, static_cast<std::uint32_t>(way), bits);
+    return true;
+}
+
+bool
+Cache::releaseOwner(Addr paddr, std::uint32_t bits, bool dirty)
+{
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way < 0)
+        return false;
+    const std::size_t idx = static_cast<std::size_t>(set) * assoc_ +
+                            static_cast<std::uint32_t>(way);
+    if (!owners_.empty())
+        owners_[idx] &= ~bits;
+    if (dirty)
+        meta_[idx] |= kLineMetaDirty;
+    return true;
+}
+
+std::uint32_t
+Cache::ownerOf(Addr paddr) const
+{
+    if (owners_.empty())
+        return 0;
+    const std::uint32_t set = setOf(paddr);
+    const int way = findWay(set, tagOf(paddr));
+    if (way < 0)
+        return 0;
+    return owners_[static_cast<std::size_t>(set) * assoc_ +
+                   static_cast<std::uint32_t>(way)];
 }
 
 std::uint64_t
@@ -304,6 +387,8 @@ Cache::reset()
 {
     tags_.assign(tags_.size(), 0);
     meta_.assign(meta_.size(), 0);
+    if (!owners_.empty())
+        owners_.assign(owners_.size(), 0);
     freeWays_.assign(freeWays_.size(), assoc_);
     // Resident lines all left; any snapshotted generation must go
     // stale, so every set advances rather than rewinding to zero.

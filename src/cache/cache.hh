@@ -100,13 +100,16 @@ class Cache
      * plus the packed kLineMeta* byte (dirty/isInst/temperature and
      * the hierarchy's residency hints).  The eviction-cascade form of
      * the eviction result -- no CacheLine materialization on the hot
-     * path.
+     * path.  When owner masks are enabled (the shared-SLC role), the
+     * victim also carries the per-core owner mask so a back-
+     * invalidation cascade targets exactly the owning cores.
      */
     struct Victim
     {
         bool valid = false;
         Addr addr = 0;
         std::uint8_t meta = 0;
+        std::uint32_t owner = 0;
     };
 
     /**
@@ -183,15 +186,79 @@ class Cache
      * in the same probe that installs the line), and the displaced
      * line comes back as a raw Victim -- address plus packed meta --
      * so the cascade can reuse the already-computed identity of the
-     * evicted line without materializing a CacheLine.
+     * evicted line without materializing a CacheLine.  @p owner_bits
+     * seeds the new line's per-core owner mask when owner tracking is
+     * enabled (ignored otherwise).
      */
-    Victim fillProbe(const MemRequest &req, std::uint8_t extra_meta);
+    Victim fillProbe(const MemRequest &req, std::uint8_t extra_meta,
+                     std::uint32_t owner_bits = 0);
 
     /**
      * Remove the line holding @p paddr (inclusive back-invalidation).
      * @return The invalidated line if it was present.
      */
     std::optional<CacheLine> invalidate(Addr paddr);
+
+    /**
+     * invalidate() in raw Victim form: the removed line's address,
+     * packed meta byte (residency hints intact -- CacheLine has no
+     * field for them) and owner mask, so a multi-core back-
+     * invalidation cascade can walk the private levels of exactly the
+     * owning core.  Victim.valid is false when the line was absent
+     * (absent lines bump no counters).
+     */
+    Victim invalidateRaw(Addr paddr);
+
+    /**
+     * @name Per-core owner masks (the shared-SLC role)
+     * The multi-core generalization of the kLineMetaInL1I/D residency
+     * hints: one bit per core, kept in a side SoA array allocated only
+     * by enableOwnerMasks() (the meta byte has just two spare bits).
+     * Bit c set means core c's private L2 *may* hold the line; a clear
+     * bit proves absence, so SLC eviction back-invalidates only the
+     * owning cores.  Single-core caches never enable the array and pay
+     * nothing (the maintenance hooks are guarded on owners_.empty()).
+     */
+    /** @{ */
+
+    /** Allocate the owner-mask array (idempotent). */
+    void enableOwnerMasks();
+
+    bool ownerMasksEnabled() const { return !owners_.empty(); }
+
+    /**
+     * OR @p bits into the owner mask of (set, way) -- the follow-up
+     * write on a slot bound by accessProbe().  No tag walk.
+     */
+    void
+    orOwner(std::uint32_t set, std::uint32_t way, std::uint32_t bits)
+    {
+        if (!owners_.empty())
+            owners_[static_cast<std::size_t>(set) * assoc_ + way] |=
+                bits;
+    }
+
+    /**
+     * OR @p bits into the owner mask of the line holding @p paddr.
+     * One tag probe; no stats, no policy effect.
+     * @return true when the line was present.
+     */
+    bool stampOwner(Addr paddr, std::uint32_t bits);
+
+    /**
+     * Clear @p bits from the owner mask of the line holding @p paddr
+     * and, when @p dirty, fold a writeback into its meta byte -- the
+     * inclusive-SLC form of an L2 victim "moving down" (the data is
+     * already here; only ownership and dirtiness change).  One tag
+     * probe; no stats, no policy effect.
+     * @return true when the line was present.
+     */
+    bool releaseOwner(Addr paddr, std::uint32_t bits, bool dirty);
+
+    /** Owner mask of the line holding @p paddr (0 if absent). */
+    std::uint32_t ownerOf(Addr paddr) const;
+
+    /** @} */
 
     /** Number of valid lines currently resident. */
     std::uint64_t residentLines() const;
@@ -310,7 +377,7 @@ class Cache
     bool accessInvalidateWith(Policy &pol, const MemRequest &req);
     template <class Policy>
     Victim fillWith(Policy &pol, const MemRequest &req,
-                    std::uint8_t extra_meta);
+                    std::uint8_t extra_meta, std::uint32_t owner_bits);
     template <class Fn>
     decltype(auto) dispatch(Fn &&fn);
     /** @} */
@@ -326,6 +393,8 @@ class Cache
     std::vector<std::uint8_t> meta_;
     /** Invalid ways per set; fill() skips its scan when zero. */
     std::vector<std::uint32_t> freeWays_;
+    /** Per-way owner mask; empty unless enableOwnerMasks() ran. */
+    std::vector<std::uint32_t> owners_;
     /** Per-set removal generation (see setGeneration()). */
     std::vector<std::uint32_t> setGen_;
     CacheStats stats_;

@@ -19,8 +19,10 @@ CacheHierarchy::CacheHierarchy(
     l1i_(params.l1i, params.l1iPolicy),
     l1d_(params.l1d, params.l1dPolicy),
     l2_(params.l2, std::move(l2_policy)),
-    slc_(params.slc, params.slcPolicy),
-    dram_(params.dram),
+    ownSlc_(std::make_unique<Cache>(params.slc, params.slcPolicy)),
+    ownDram_(std::make_unique<Dram>(params.dram)),
+    slc_(ownSlc_.get()),
+    dram_(ownDram_.get()),
     l1dStride_(256, params.l1dStrideDegree),
     l2Stride_(256, params.l2StrideDegree),
     instNextLine_(params.instNextLineDegree, params.l2.lineBytes)
@@ -28,6 +30,33 @@ CacheHierarchy::CacheHierarchy(
     // The hierarchy decomposes addresses through its own params_
     // copies (lineAddr on the prefetch paths), so derive their
     // shift/mask constants up front.
+    params_.l1i.check();
+    params_.l1d.check();
+    params_.l2.check();
+    params_.slc.check();
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               Cache &shared_slc, Dram &shared_dram,
+                               unsigned core_id,
+                               SlcOwnerDirectory *directory) :
+    params_(params),
+    l1i_(params.l1i, params.l1iPolicy),
+    l1d_(params.l1d, params.l1dPolicy),
+    l2_(params.l2, PolicyRegistry::instance().instantiate(
+                       params.l2Policy, params.l2)),
+    slc_(&shared_slc),
+    dram_(&shared_dram),
+    slcOwnerBit_(1u << core_id),
+    directory_(directory),
+    l1dStride_(256, params.l1dStrideDegree),
+    l2Stride_(256, params.l2StrideDegree),
+    instNextLine_(params.instNextLineDegree, params.l2.lineBytes)
+{
+    panic_if(core_id >= 32,
+             "shared-SLC owner masks carry at most 32 cores");
+    panic_if(!params.slcInclusive,
+             "a shared SLC requires the inclusive protocol");
     params_.l1i.check();
     params_.l1d.check();
     params_.l2.check();
@@ -85,15 +114,19 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
     if (slot != FlatMap<Inflight>::npos &&
         inflight_.slotValue(slot).ready <= now) {
         // Completed prefetch becomes real L2 content before the
-        // lookup; any SLC copy moves up (exclusive), no DRAM charge.
+        // lookup; any SLC copy moves up (exclusive) or gains this
+        // core's owner bit (inclusive), no DRAM charge.
         inflight_.eraseSlot(slot);
         slot = FlatMap<Inflight>::npos;
         ++pfStats_.covered;
-        slc_.invalidate(line);
         MemRequest fill = req;
         fill.vaddr = fill.paddr = line;
         fill.type = req.isInst() ? AccessType::InstPrefetch
                                  : AccessType::DataPrefetch;
+        if (params_.slcInclusive)
+            ensureSlcInclusion(fill, now);
+        else
+            slc_->invalidate(line);
         fillL2(fill, now, 0);
     }
 
@@ -122,9 +155,13 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
         out.latency = ready > now ? ready - now : params_.l2DataLat;
         ++pfStats_.late;
         inflight_.eraseSlot(slot);
-        // Data arrives via the prefetch; consume any SLC copy and
+        // Data arrives via the prefetch; consume any SLC copy
+        // (exclusive) or take ownership of it (inclusive) and
         // install without charging DRAM again.
-        slc_.invalidate(line);
+        if (params_.slcInclusive)
+            ensureSlcInclusion(req, now);
+        else
+            slc_->invalidate(line);
         fillL2(req, now, l1bit);
         fillL1(l1, req);
         return out;
@@ -146,9 +183,18 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
         }
     }
 
-    const bool slc_hit = params_.slcExclusive
-                             ? slc_.accessInvalidate(req)
-                             : slc_.access(req);
+    bool slc_hit;
+    if (params_.slcInclusive) {
+        // Inclusive: the copy stays below; the hit slot gains this
+        // core's owner bit in the same probe.
+        const Cache::Probe sp = slc_->accessProbe(req);
+        slc_hit = sp.hit;
+        if (sp.hit)
+            slc_->orOwner(sp.set, sp.way, slcOwnerBit_);
+    } else {
+        slc_hit = params_.slcExclusive ? slc_->accessInvalidate(req)
+                                       : slc_->access(req);
+    }
     if (slc_hit) {
         out.servedBy = ServedBy::Slc;
         out.latency = params_.l2TagLat + params_.slcTagLat +
@@ -159,7 +205,12 @@ CacheHierarchy::beyondL1(const MemRequest &req, Cycles now, bool is_inst)
     }
 
     out.servedBy = ServedBy::Dram;
-    out.latency = params_.l2TagLat + params_.slcTagLat + dram_.read(now);
+    out.latency = params_.l2TagLat + params_.slcTagLat +
+                  dram_->read(now);
+    // Inclusive SLC: the DRAM fill installs below on its way up, so
+    // the private L2 copy is covered before fillL2 can even evict.
+    if (params_.slcInclusive)
+        ensureSlcInclusion(req, now);
     fillL2(req, now, l1bit);
     fillL1(l1, req);
     return out;
@@ -186,10 +237,10 @@ CacheHierarchy::issuePrefetch(const MemRequest &req, Cycles now)
         return;
 
     Cycles latency = params_.l2TagLat + params_.slcTagLat;
-    if (slc_.contains(line)) {
+    if (slc_->contains(line)) {
         latency += params_.slcDataLat;
     } else {
-        latency += dram_.read(now);
+        latency += dram_->read(now);
     }
     entry->ready = now + latency;
     ++pfStats_.issued;
@@ -242,12 +293,21 @@ void
 CacheHierarchy::victimToSlc(Addr addr, bool dirty, std::uint8_t meta,
                             Cycles now)
 {
-    if (!params_.slcExclusive) {
+    if (params_.slcInclusive) {
+        // Inclusive: the data already lives below.  The L2 victim
+        // only releases this core's ownership of the SLC copy; a
+        // dirty victim folds its writeback into that copy.  Falling
+        // through (copy absent) means inclusion was broken -- only
+        // possible with no owner directory wired -- and the victim
+        // re-installs like the non-exclusive path.
+        if (slc_->releaseOwner(addr, slcOwnerBit_, dirty))
+            return;
+    } else if (!params_.slcExclusive) {
         // One probe: a dirty victim merges into a present copy via
         // markDirty (which reports presence); a clean one only needs
         // the presence check.
-        const bool present = dirty ? slc_.markDirty(addr)
-                                   : slc_.contains(addr);
+        const bool present = dirty ? slc_->markDirty(addr)
+                                   : slc_->contains(addr);
         if (present)
             return;
     }
@@ -261,9 +321,61 @@ CacheHierarchy::victimToSlc(Addr addr, bool dirty, std::uint8_t meta,
                                                : AccessType::Load);
     req.temp = decodeTemperature(
         static_cast<std::uint8_t>(meta >> kLineMetaTempShift));
-    const Cache::Victim evicted = slc_.fillProbe(req, 0);
-    if (evicted.valid && (evicted.meta & kLineMetaDirty))
-        dram_.write(now);
+    const Cache::Victim evicted = slc_->fillProbe(req, 0);
+    bool ev_dirty = evicted.valid &&
+                    (evicted.meta & kLineMetaDirty) != 0;
+    if (evicted.valid && directory_ &&
+        directory_->dropFromOwners(evicted.addr, evicted.owner)) {
+        ev_dirty = true;
+    }
+    if (ev_dirty)
+        dram_->write(now);
+}
+
+void
+CacheHierarchy::ensureSlcInclusion(const MemRequest &req, Cycles now)
+{
+    const Addr line = params_.l2.lineAddr(req.paddr);
+    if (slc_->stampOwner(line, slcOwnerBit_))
+        return;
+    MemRequest fill = req;
+    fill.vaddr = fill.paddr = line;
+    const Cache::Victim evicted =
+        slc_->fillProbe(fill, 0, slcOwnerBit_);
+    if (!evicted.valid)
+        return;
+    bool dirty = (evicted.meta & kLineMetaDirty) != 0;
+    if (directory_ &&
+        directory_->dropFromOwners(evicted.addr, evicted.owner)) {
+        dirty = true;
+    }
+    if (dirty)
+        dram_->write(now);
+}
+
+bool
+CacheHierarchy::dropLine(Addr addr)
+{
+    const Cache::Victim v = l2_.invalidateRaw(addr);
+    bool dirty = v.valid && (v.meta & kLineMetaDirty) != 0;
+    // Inclusive L2: the victim's residency bits bound where private
+    // copies can live (same contract as fillL2's cascade).  A
+    // non-inclusive L2 gives no such proof, so both L1s are probed.
+    const bool probe_i =
+        params_.l2Inclusive ? (v.valid && (v.meta & kLineMetaInL1I))
+                            : true;
+    const bool probe_d =
+        params_.l2Inclusive ? (v.valid && (v.meta & kLineMetaInL1D))
+                            : true;
+    if (probe_i)
+        l1i_.invalidate(addr);
+    if (probe_d) {
+        if (auto l1line = l1d_.invalidate(addr);
+            l1line && l1line->dirty) {
+            dirty = true;
+        }
+    }
+    return dirty;
 }
 
 void
@@ -274,6 +386,75 @@ CacheHierarchy::fillL1(Cache &l1, const MemRequest &req)
         // Inclusive L2 still holds the line; just mark it dirty.
         l2_.markDirty(evicted.addr);
     }
+}
+
+bool
+MultiCoreHierarchy::dropFromOwners(Addr addr, std::uint32_t owners)
+{
+    // The naive reference ignores the masks and probes every core;
+    // the masked cascade walks exactly the owner bits.  Because the
+    // masks are conservative (a clear bit proves absence and probing
+    // an absent line is a stat-free no-op), the two must produce
+    // identical outcomes and stats -- the randomized differential's
+    // invariant.
+    const std::uint32_t probe =
+        params_.naiveBackInvalidate ? ~0u : owners;
+    bool dirty = false;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if ((probe >> c) & 1u) {
+            if (cores_[c]->dropLine(addr))
+                dirty = true;
+        }
+    }
+    return dirty;
+}
+
+MultiCoreHierarchy::MultiCoreHierarchy(const MultiCoreParams &params) :
+    params_([&] {
+        MultiCoreParams p = params;
+        // The shared-SLC protocol needs private inclusion end to end:
+        // an L1 copy implies an L2 copy implies an SLC copy carrying
+        // the owner bit, which is what makes the masked back-
+        // invalidation sound.
+        p.hier.l2Inclusive = true;
+        p.hier.slcExclusive = false;
+        p.hier.slcInclusive = true;
+        return p;
+    }()),
+    slc_(params_.hier.slc, params_.hier.slcPolicy),
+    dram_(params_.hier.dram)
+{
+    panic_if(params_.numCores == 0 || params_.numCores > 32,
+             "MultiCoreHierarchy: numCores must be in [1, 32]");
+    slc_.enableOwnerMasks();
+    cores_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        cores_.push_back(std::make_unique<CacheHierarchy>(
+            params_.hier, slc_, dram_, c, this));
+    }
+}
+
+bool
+MultiCoreHierarchy::checkInclusion() const
+{
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const CacheHierarchy &h = core(c);
+        if (!h.checkInclusion())
+            return false;
+        // Every private L2 line must be present in the shared SLC
+        // with this core's owner bit set.
+        const Cache &l2 = h.l2();
+        for (std::uint32_t s = 0; s < l2.geometry().numSets(); ++s) {
+            for (std::uint32_t w = 0; w < l2.geometry().assoc; ++w) {
+                const CacheLine line = l2.lineAt(s, w);
+                if (!line.valid)
+                    continue;
+                if (((slc_.ownerOf(line.addr) >> c) & 1u) == 0)
+                    return false;
+            }
+        }
+    }
+    return true;
 }
 
 void

@@ -72,6 +72,15 @@ struct HierarchyParams
 
     bool l2Inclusive = true;    //!< L2 back-invalidates the L1s.
     bool slcExclusive = true;   //!< SLC is an L2 victim cache.
+    /**
+     * Multi-core shared-SLC mode: the SLC holds a superset of every
+     * private L2's contents (wins over slcExclusive when set).  Demand
+     * hits keep their SLC copy, DRAM-served fills install into the SLC
+     * on the way up, L2 victims only release ownership (the data is
+     * already below), and an SLC eviction back-invalidates the owning
+     * cores' private levels through the owner directory.
+     */
+    bool slcInclusive = false;
 
     bool enablePrefetch = true;
     unsigned l1dStrideDegree = 4;
@@ -108,11 +117,35 @@ class L2AccessObserver
 };
 
 /**
+ * Resolver of shared-SLC owner masks back to core private levels.
+ * Implemented by MultiCoreHierarchy: when the shared SLC evicts a
+ * line, the owning stack calls back through this interface so every
+ * core whose owner bit is set drops its private copies.
+ */
+class SlcOwnerDirectory
+{
+  public:
+    virtual ~SlcOwnerDirectory() = default;
+    /**
+     * Remove @p addr from the private levels of every core in
+     * @p owners (bit c = core c).
+     * @return true when any dropped private copy was dirty.
+     */
+    virtual bool dropFromOwners(Addr addr, std::uint32_t owners) = 0;
+};
+
+/**
  * The four-level hierarchy.  Functional content is tracked exactly;
  * timing is analytic per access.  Prefetches are recorded in an
  * in-flight map and materialize into the L2 when first demanded
  * (completed prefetches become L2 hits; late ones become reduced-
  * latency misses), which keeps demand-MPKI accounting faithful.
+ *
+ * A hierarchy owns its SLC and DRAM by default (the single-core
+ * engine).  The multi-core form (MultiCoreHierarchy) instead passes a
+ * shared SLC + DRAM into N private stacks; each stack stamps its core
+ * bit into the SLC's per-line owner mask and SLC evictions back-
+ * invalidate through the SlcOwnerDirectory.
  */
 class CacheHierarchy
 {
@@ -127,6 +160,16 @@ class CacheHierarchy
      */
     CacheHierarchy(const HierarchyParams &params,
                    std::unique_ptr<ReplacementPolicy> l2_policy);
+
+    /**
+     * Private per-core stack over an externally owned shared SLC and
+     * DRAM (the multi-core form; requires params.slcInclusive).  The
+     * stack stamps (1u << core_id) into the SLC owner masks and routes
+     * SLC-eviction back-invalidations through @p directory.
+     */
+    CacheHierarchy(const HierarchyParams &params, Cache &shared_slc,
+                   Dram &shared_dram, unsigned core_id,
+                   SlcOwnerDirectory *directory);
 
     /** Demand instruction fetch at cycle @p now. */
     AccessOutcome instFetch(const MemRequest &req, Cycles now);
@@ -155,10 +198,24 @@ class CacheHierarchy
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
-    Cache &slc() { return slc_; }
-    Dram &dram() { return dram_; }
+    Cache &slc() { return *slc_; }
+    Dram &dram() { return *dram_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &slc() const { return *slc_; }
+    const Dram &dram() const { return *dram_; }
     const HierarchyParams &params() const { return params_; }
     const PrefetchStats &prefetchStats() const { return pfStats_; }
+
+    /**
+     * Drop the line holding @p addr from this core's private levels
+     * (L2 plus the L1s its residency bits implicate) -- the receiving
+     * end of a shared-SLC back-invalidation.  No stats beyond the
+     * levels' invalidation counters, no SLC traffic.
+     * @return true when any dropped copy was dirty.
+     */
+    bool dropLine(Addr addr);
 
     /** L2 demand misses per kilo-instruction, instruction side. */
     double l2InstMpki(InstCount instructions) const;
@@ -197,6 +254,14 @@ class CacheHierarchy
     /** Move an evicted L2 line (address + meta form) into the SLC. */
     void victimToSlc(Addr addr, bool dirty, std::uint8_t meta,
                      Cycles now);
+    /**
+     * Inclusive-SLC mode: guarantee the line for @p req is resident
+     * in the shared SLC with this core's owner bit set, installing it
+     * (and back-invalidating the displaced line's owners) when absent.
+     * Runs before every fillL2 on a path where the data bypassed the
+     * SLC (DRAM fill, prefetch materialization).
+     */
+    void ensureSlcInclusion(const MemRequest &req, Cycles now);
     /** Issue one prefetch toward the L2. */
     void issuePrefetch(const MemRequest &req, Cycles now);
     /** Occasional cleanup of expired never-demanded entries. */
@@ -210,8 +275,14 @@ class CacheHierarchy
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
-    Cache slc_;
-    Dram dram_;
+    /** Own SLC/DRAM (single-core); null when externally shared. */
+    std::unique_ptr<Cache> ownSlc_;
+    std::unique_ptr<Dram> ownDram_;
+    Cache *slc_ = nullptr;
+    Dram *dram_ = nullptr;
+    /** (1u << core_id) when sharing the SLC; 0 single-core. */
+    std::uint32_t slcOwnerBit_ = 0;
+    SlcOwnerDirectory *directory_ = nullptr;
     StridePrefetcher l1dStride_;
     StridePrefetcher l2Stride_;
     NextLinePrefetcher instNextLine_;
@@ -219,6 +290,69 @@ class CacheHierarchy
     PrefetchStats pfStats_;
     std::vector<Addr> pfScratch_;
     L2AccessObserver *l2Observer_ = nullptr;
+};
+
+/** Configuration of a multi-core hierarchy. */
+struct MultiCoreParams
+{
+    /**
+     * Per-core private geometry + the shared SLC/DRAM.  slcExclusive
+     * and slcInclusive are overridden: N>0 cores over one SLC always
+     * run the inclusive shared-SLC protocol.
+     */
+    HierarchyParams hier;
+    unsigned numCores = 2;
+    /**
+     * Test hook: ignore the per-line owner masks and probe every
+     * core's private levels on an SLC eviction -- the naive reference
+     * the randomized differential compares the masked cascade against
+     * (masks are conservative, so outcomes and stats must be
+     * identical; only probe work differs).
+     */
+    bool naiveBackInvalidate = false;
+};
+
+/**
+ * N private {L1I, L1D, L2} stacks over one shared SLC and one shared
+ * DRAM channel.  The SLC runs with per-line owner masks (bit c =
+ * core c); this class is the owner directory resolving SLC evictions
+ * back to exactly the owning cores' private levels.  The shared DRAM
+ * is the deterministic bandwidth-contention point: cores occupy the
+ * same channel timeline, so a streaming neighbor visibly delays an
+ * instruction-hot core (bench/multicore's noisy-neighbor study).
+ */
+class MultiCoreHierarchy final : public SlcOwnerDirectory
+{
+  public:
+    explicit MultiCoreHierarchy(const MultiCoreParams &params);
+
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    CacheHierarchy &core(unsigned i) { return *cores_[i]; }
+    const CacheHierarchy &core(unsigned i) const { return *cores_[i]; }
+    Cache &slc() { return slc_; }
+    const Cache &slc() const { return slc_; }
+    Dram &dram() { return dram_; }
+    const MultiCoreParams &params() const { return params_; }
+
+    bool dropFromOwners(Addr addr, std::uint32_t owners) override;
+
+    /**
+     * Verify every invariant the protocol promises (test hook):
+     * per-core L2-includes-L1, every private L2 line present in the
+     * shared SLC, and each such line's SLC owner mask covering its
+     * holder.
+     */
+    bool checkInclusion() const;
+
+  private:
+    MultiCoreParams params_;
+    Cache slc_;
+    Dram dram_;
+    std::vector<std::unique_ptr<CacheHierarchy>> cores_;
 };
 
 } // namespace trrip

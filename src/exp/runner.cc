@@ -10,6 +10,7 @@
 #include "core/policy_registry.hh"
 #include "exp/journal.hh"
 #include "exp/sink.hh"
+#include "sim/multicore.hh"
 #include "trace/replay.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -169,8 +170,12 @@ struct RunState
     {
         // Trace workloads have no synthesis pipeline; their shared
         // state (the TraceIndex) lives in the ProfileCache instead.
-        if (trace::isTraceName(spec.workloads[workload]))
+        // Multi-core bundles build their per-core workloads inside
+        // runMultiCore (profiles still shared through the cache).
+        if (trace::isTraceName(spec.workloads[workload]) ||
+            isMultiCoreName(spec.workloads[workload])) {
             return;
+        }
         std::call_once(buildOnce[workload], [&] {
             // The build injection site.  A throw leaves the once
             // flag unset, so the next cell needing this workload
@@ -243,6 +248,46 @@ struct RunState
         CellOutcome outcome;
         if (spec.runCell) {
             outcome = spec.runCell(ctx);
+        } else if (isMultiCoreName(ctx.workload)) {
+            // mc:a+b+... cells run one shared-SLC bundle; training
+            // profiles and trace indexes are shared through the same
+            // cache as single-core cells.
+            MultiCoreOptions mo;
+            mo.base = ctx.options;
+            mo.paramsFor = paramsFor;
+            if (reuseProfiles) {
+                ProfileCache *cache = profiles;
+                mo.profileProvider =
+                    [cache](const SyntheticWorkload &w,
+                            InstCount budget) {
+                        return cache->get(w, budget);
+                    };
+                mo.traceIndexProvider =
+                    [cache](const std::string &path) {
+                        return cache->traceIndex(path);
+                    };
+            }
+            MultiCoreResult mc = runMultiCore(
+                multiCoreWorkloadsOf(ctx.workload), ctx.policy, mo);
+            const SimResult agg = aggregateMultiCore(mc);
+            outcome.metrics = defaultMetrics(agg);
+            for (std::size_t core = 0; core < mc.cores.size();
+                 ++core) {
+                const std::string prefix =
+                    "core" + std::to_string(core) + "_";
+                for (const auto &[key, value] :
+                     defaultMetrics(mc.cores[core].result)) {
+                    outcome.metrics[prefix + key] = value;
+                }
+            }
+            outcome.metrics["dram_reads"] =
+                static_cast<double>(mc.dramReads);
+            outcome.metrics["dram_writes"] =
+                static_cast<double>(mc.dramWrites);
+            // The record keeps core 0's software artifacts (layout,
+            // profile, resolved policies) with the aggregate result.
+            outcome.artifacts = std::move(mc.cores[0]);
+            outcome.artifacts.result = agg;
         } else if (trace::isTraceName(ctx.workload)) {
             // trace:<path> cells replay the file instead of running a
             // proxy; the policy-independent pre-pass index is shared

@@ -102,6 +102,15 @@ struct ExperimentSpec
     /** Human-readable banner, e.g. the paper figure being reproduced. */
     std::string title;
 
+    /**
+     * Workload axis labels.  Three schemes resolve per cell: a bare
+     * proxy name ("gcc", via paramsFor), a `trace:<path>` replay
+     * label (trace::runTrace), and an `mc:a+b+...` multi-core bundle
+     * (sim/multicore.hh: one core per '+'-separated element, each a
+     * proxy name or trace label, over one shared SLC).  The bundle
+     * label carries both grid axes of a multi-core sweep -- the core
+     * count and the core->workload assignment.
+     */
     std::vector<std::string> workloads;
     /**
      * L2 policy axis as PolicyRegistry spec strings -- bare names

@@ -494,14 +494,14 @@ CoreModel::fastEvent(const BBEvent &ev)
 }
 
 template <unsigned Stub, bool Fast>
-SimResult
-CoreModel::runLoop(InstCount max_instructions)
+void
+CoreModel::stepLoop(InstCount target_instructions)
 {
     static_assert(!Fast || Stub == kStubNone,
                   "fast mode only exists on the unstubbed engine");
     constexpr bool stub_branch =
         (Stub & (kStubBranch | kStubExec)) != 0;
-    while (instructions_ < max_instructions) {
+    while (instructions_ < target_instructions) {
         refill<Stub>();
         if (!stub_branch && fdipScan_) {
             // Lookahead cursor: stamp fdipMispredict exactly when an
@@ -530,7 +530,11 @@ CoreModel::runLoop(InstCount max_instructions)
             processEvent<Stub>(ev);
         ++head_;
     }
+}
 
+SimResult
+CoreModel::finalize()
+{
     // Materialize the hoisted mispredict bucket.  Its per-event
     // contributions are integer penalties, so every partial sum of
     // the old accumulation was an exact integer double and
@@ -562,26 +566,33 @@ CoreModel::runLoop(InstCount max_instructions)
     return res;
 }
 
-SimResult
-CoreModel::run(InstCount max_instructions)
+void
+CoreModel::step(InstCount target_instructions)
 {
     switch (params_.stubMask) {
       case kStubNone:
         if (mode_ == SimMode::Fast)
-            return runLoop<kStubNone, true>(max_instructions);
-        return runLoop<kStubNone, false>(max_instructions);
+            return stepLoop<kStubNone, true>(target_instructions);
+        return stepLoop<kStubNone, false>(target_instructions);
       case kStubHier:
-        return runLoop<kStubHier, false>(max_instructions);
+        return stepLoop<kStubHier, false>(target_instructions);
       case kStubBranch:
-        return runLoop<kStubBranch, false>(max_instructions);
+        return stepLoop<kStubBranch, false>(target_instructions);
       case kStubMmu:
-        return runLoop<kStubMmu, false>(max_instructions);
+        return stepLoop<kStubMmu, false>(target_instructions);
       case kStubExec:
-        return runLoop<kStubExec, false>(max_instructions);
+        return stepLoop<kStubExec, false>(target_instructions);
       default:
         panic("unsupported stub mask ", params_.stubMask,
               " (single kStub* levers only)");
     }
+}
+
+SimResult
+CoreModel::run(InstCount max_instructions)
+{
+    step(max_instructions);
+    return finalize();
 }
 
 } // namespace trrip

@@ -235,6 +235,27 @@ class CoreModel
     /** Run for @p max_instructions and return the aggregated result. */
     SimResult run(InstCount max_instructions);
 
+    /**
+     * @name Incremental stepping (the multi-core round-robin driver)
+     * run(n) == { step(n); finalize(); } bit for bit: every piece of
+     * loop state lives in members, so cutting the run into quanta
+     * changes nothing about this core's own trajectory -- only the
+     * interleaving of its shared-resource (SLC/DRAM) traffic with
+     * other cores', which is exactly what the driver schedules.
+     */
+    /** @{ */
+
+    /** Advance until at least @p target_instructions have retired. */
+    void step(InstCount target_instructions);
+
+    /** Instructions retired so far. */
+    InstCount retired() const { return instructions_; }
+
+    /** Aggregate the result once the final step() has run. */
+    SimResult finalize();
+
+    /** @} */
+
   private:
     /**
      * The batched outer loop, instantiated per (stub mask, fast)
@@ -242,7 +263,7 @@ class CoreModel
      * attribution stubs are defined as exact-engine measurements).
      */
     template <unsigned Stub, bool Fast>
-    SimResult runLoop(InstCount max_instructions);
+    void stepLoop(InstCount target_instructions);
 
     /** Top the ring up to full when fewer than a window is ahead. */
     template <unsigned Stub>

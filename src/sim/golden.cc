@@ -169,4 +169,36 @@ traceGoldenCases()
     return cases;
 }
 
+SimOptions
+MultiCoreGoldenCase::options() const
+{
+    SimOptions opts;
+    opts.maxInstructions = kGoldenBudget;
+    opts.pgo = pgo;
+    return opts;
+}
+
+const std::vector<MultiCoreGoldenCase> &
+multiCoreGoldenCases()
+{
+    /**
+     * Pinned multi-core fingerprints: mixed temperature profiles (a
+     * code-hot compiler next to a flatter interpreter), a 4-core
+     * bundle stressing the owner-mask width, and one bundle mixing a
+     * proxy core with a trace-replay core.  Regenerate like the
+     * tables above: run tests/test_multicore with
+     * TRRIP_PRINT_GOLDEN=1 and copy the printed rows.
+     */
+    static const std::vector<MultiCoreGoldenCase> cases = {
+        {"python+gcc", "TRRIP-2", true, 0x13d640f0529fb8dbull},
+        {"clang+sqlite", "SRRIP", true, 0xd2be7f307f4d176full},
+        {"python+clang+gcc+sqlite", "TRRIP-2", true,
+         0x2c29f26e846c42c0ull},
+        {"gcc+@dispatch", "LRU", true, 0xcef31565d65f2648ull},
+        {"omnetpp+rapidjson+deepsjeng+abseil", "SHiP", true,
+         0xdfb914ea0ff55f05ull},
+    };
+    return cases;
+}
+
 } // namespace trrip

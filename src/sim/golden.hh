@@ -78,6 +78,29 @@ struct TraceGoldenCase
 const std::vector<TraceGoldenCase> &traceGoldenCases();
 
 /**
+ * One pinned multi-core configuration (sim/multicore.hh).  `workloads`
+ * is the '+'-separated per-core list of an `mc:` label; an `@name`
+ * element names a mini-pack trace (src/trace/generate.hh) the caller
+ * resolves to a `trace:<path>` label, exactly like TraceGoldenCase.
+ * The expected value is the multiCoreFingerprint() of the run at
+ * kGoldenBudget per core -- every core's counters plus the shared
+ * SLC snapshot and DRAM totals.
+ */
+struct MultiCoreGoldenCase
+{
+    const char *workloads;  //!< Per-core labels, '+'-separated.
+    const char *policy;     //!< Every core's L2 policy spec.
+    bool pgo;
+    std::uint64_t expected;
+
+    /** kGoldenBudget SimOptions for this case. */
+    SimOptions options() const;
+};
+
+/** The pinned multi-core table (2- and 4-core bundles). */
+const std::vector<MultiCoreGoldenCase> &multiCoreGoldenCases();
+
+/**
  * Fingerprint every integer counter plus the exact cycle total; if
  * @p dump_out is non-null it receives a named counter dump for
  * mismatch diagnostics.

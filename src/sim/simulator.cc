@@ -67,12 +67,13 @@ resolveProfileBudget(const SimOptions &options)
                : resolveBudget(options);
 }
 
-RunArtifacts
-runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
+WorkloadRuntime
+prepareWorkload(const SyntheticWorkload &workload,
+                const SimOptions &options)
 {
-    RunArtifacts art;
+    WorkloadRuntime rt;
+    RunArtifacts &art = rt.art;
 
-    const InstCount budget = resolveBudget(options);
     const InstCount profile_budget = resolveProfileBudget(options);
 
     // (2)-(3) Instrumented run producing the profile.  A precomputed
@@ -101,11 +102,22 @@ runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
     }
 
     // (6)-(8) Loader populates PTE temperature attribute bits.
-    PageTable pt(options.pageSize);
-    art.loadStats = loadImage(art.image, pt, options.pagePolicy);
+    rt.pageTable = std::make_unique<PageTable>(options.pageSize);
+    art.loadStats =
+        loadImage(art.image, *rt.pageTable, options.pagePolicy);
+    return rt;
+}
+
+RunArtifacts
+runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
+{
+    const InstCount budget = resolveBudget(options);
+
+    WorkloadRuntime rt = prepareWorkload(workload, options);
+    RunArtifacts &art = rt.art;
 
     // (9)-(11) Execute: MMU stamps temperatures onto fetch requests.
-    Mmu mmu(pt);
+    Mmu mmu(*rt.pageTable);
     BranchUnit branch(options.branch);
     CacheHierarchy hier(options.hier);
     art.resolvedPolicies = {
@@ -131,7 +143,7 @@ runWorkload(const SyntheticWorkload &workload, const SimOptions &options)
     core.setCostlyTracker(options.costly);
     core.setCancelToken(options.cancel);
     art.result = core.run(budget);
-    return art;
+    return std::move(rt.art);
 }
 
 } // namespace trrip

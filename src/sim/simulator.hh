@@ -110,6 +110,28 @@ Profile collectProfile(const SyntheticWorkload &workload,
                        InstCount instructions);
 
 /**
+ * The software half of a run: artifacts plus the page table they were
+ * loaded into -- everything runWorkload() builds before the engine
+ * (Mmu/BranchUnit/CacheHierarchy/Executor/CoreModel) exists.  Split
+ * out so drivers that own their engine loop (the multi-core
+ * round-robin in sim/multicore.hh) share one construction path with
+ * the single-core pipeline.
+ */
+struct WorkloadRuntime
+{
+    RunArtifacts art;
+    std::unique_ptr<PageTable> pageTable;
+};
+
+/**
+ * Steps (2)-(8) of the Fig. 4 flow: profile (or adopt the
+ * precomputed one), classify, lay out, load.  runWorkload() is
+ * exactly prepareWorkload() followed by the engine run.
+ */
+WorkloadRuntime prepareWorkload(const SyntheticWorkload &workload,
+                                const SimOptions &options);
+
+/**
  * Run the whole pipeline for one workload.  Every cache level's
  * replacement policy comes from the per-level specs in
  * options.hier (l1iPolicy / l1dPolicy / l2Policy / slcPolicy).

@@ -173,21 +173,20 @@ mapTracePages(const TraceIndex &index, const Classification *cls,
 
 } // namespace
 
-RunArtifacts
-runTrace(const std::string &path, const std::string &policy_spec,
-         const SimOptions &options,
-         std::shared_ptr<const TraceIndex> index)
+TraceRuntime
+prepareTrace(const std::string &path, const SimOptions &options,
+             std::shared_ptr<const TraceIndex> index)
 {
-    SimOptions opts = options;
-    opts.hier.l2Policy = PolicySpec(policy_spec);
+    TraceRuntime rt;
     if (!index) {
         index = std::make_shared<const TraceIndex>(
             buildTraceIndex(path));
     }
     panic_if(index->path != path, "trace index for '", index->path,
              "' replayed against '", path, "'");
+    rt.index = index;
 
-    RunArtifacts art;
+    RunArtifacts &art = rt.art;
     // Aliasing share: the profile lives inside the shared index.
     art.profile = std::shared_ptr<const Profile>(index,
                                                  &index->profile);
@@ -195,19 +194,33 @@ runTrace(const std::string &path, const std::string &policy_spec,
     // (4)-(5) Classify block temperatures from the pre-pass profile
     // (there is no re-layout: the trace pins every address).
     const Classification *cls = nullptr;
-    if (opts.pgo) {
+    if (options.pgo) {
         art.classification = classifyTemperature(
-            index->program, index->profile, opts.classifier);
+            index->program, index->profile, options.classifier);
         cls = &art.classification;
     }
     art.image = traceImage(*index, cls);
 
     // (6)-(8) Stamp the PTE temperature attribute bits.
-    PageTable pt(opts.pageSize);
-    art.loadStats = mapTracePages(*index, cls, pt, opts.pagePolicy);
+    rt.pageTable = std::make_unique<PageTable>(options.pageSize);
+    art.loadStats = mapTracePages(*index, cls, *rt.pageTable,
+                                  options.pagePolicy);
+    return rt;
+}
+
+RunArtifacts
+runTrace(const std::string &path, const std::string &policy_spec,
+         const SimOptions &options,
+         std::shared_ptr<const TraceIndex> index)
+{
+    SimOptions opts = options;
+    opts.hier.l2Policy = PolicySpec(policy_spec);
+
+    TraceRuntime rt = prepareTrace(path, opts, std::move(index));
+    RunArtifacts &art = rt.art;
 
     // (9)-(11) Replay through the unchanged core/hierarchy engine.
-    Mmu mmu(pt);
+    Mmu mmu(*rt.pageTable);
     BranchUnit branch(opts.branch);
     CacheHierarchy hier(opts.hier);
     art.resolvedPolicies = {
@@ -225,7 +238,7 @@ runTrace(const std::string &path, const std::string &policy_spec,
     core.setCostlyTracker(opts.costly);
     core.setCancelToken(opts.cancel);
     art.result = core.run(resolveBudget(opts));
-    return art;
+    return std::move(rt.art);
 }
 
 } // namespace trrip::trace

@@ -66,6 +66,30 @@ struct TraceIndex
 TraceIndex buildTraceIndex(const std::string &path);
 
 /**
+ * The software half of a trace replay: artifacts plus the page table
+ * the attribute bits were stamped into, and the (possibly shared)
+ * index the replay runs from -- the trace analogue of
+ * WorkloadRuntime / prepareWorkload().  Policy-independent: apply the
+ * L2 policy spec to @p options before the engine is built, not here.
+ */
+struct TraceRuntime
+{
+    RunArtifacts art;
+    std::shared_ptr<const TraceIndex> index;
+    std::unique_ptr<PageTable> pageTable;
+};
+
+/**
+ * Steps (2)-(8) for a trace: adopt or build the index, classify,
+ * model the image, stamp PTE bits.  runTrace() is exactly
+ * prepareTrace() followed by the engine run; the multi-core driver
+ * (sim/multicore.hh) shares this construction path.
+ */
+TraceRuntime prepareTrace(const std::string &path,
+                          const SimOptions &options,
+                          std::shared_ptr<const TraceIndex> index = {});
+
+/**
  * Replay @p path against @p policy_spec (the L2 policy, like
  * CoDesignPipeline::run) under @p options.  @p index may be shared
  * across calls (exp::ProfileCache); pass nullptr to build a private

@@ -959,5 +959,169 @@ TEST(HierarchyDifferential, FusedCascadesMatchReferenceTinyPrune)
     runHierarchyDifferential(hp, 61, 20000);
 }
 
+/**
+ * Drive a masked MultiCoreHierarchy and its naive reference (owner
+ * masks ignored: every SLC eviction probes every core) over one
+ * seeded random multi-core access stream and require identical
+ * outcomes and statistics.  The owner masks are conservative
+ * supersets of the true private holders and probing an absent line
+ * is a stat-free no-op, so the two cascades must be observationally
+ * identical -- only the probe work differs.  The shared regions give
+ * lines multi-bit owner masks; the per-core private regions give
+ * single-bit masks, the case where naive probing visits cores the
+ * masked cascade proves it can skip.
+ */
+void
+runMultiCoreDifferential(const MultiCoreParams &mp, std::uint64_t seed,
+                         int accesses)
+{
+    MultiCoreHierarchy masked(mp);
+    MultiCoreParams np = mp;
+    np.naiveBackInvalidate = true;
+    MultiCoreHierarchy naive(np);
+    Rng rng(seed);
+    Cycles now = 0;
+
+    const Addr code_base = 0x10000;
+    const Addr code_bytes = 96 * 1024;
+    const Addr data_base = 0x400000;
+    const Addr data_bytes = 160 * 1024;
+    // Per-core private windows beyond the shared regions.
+    const Addr priv_stride = 0x1000000;
+
+    for (int i = 0; i < accesses; ++i) {
+        now += rng.below(120);
+        const auto c =
+            static_cast<unsigned>(rng.below(masked.numCores()));
+        const bool shared = rng.chance(0.6);
+        const Addr base = shared ? 0 : (1 + c) * priv_stride;
+        const std::uint64_t kind = rng.below(100);
+        MemRequest req;
+        if (kind < 55) {
+            const Addr a = base + code_base +
+                           (rng.chance(0.7)
+                                ? rng.below(code_bytes / 8)
+                                : rng.below(code_bytes));
+            req.vaddr = req.paddr = a;
+            req.pc = a;
+            req.type = AccessType::InstFetch;
+            req.temp = static_cast<Temperature>(rng.below(4));
+            const AccessOutcome a_out =
+                masked.core(c).instFetch(req, now);
+            const AccessOutcome b_out =
+                naive.core(c).instFetch(req, now);
+            ASSERT_EQ(a_out.latency, b_out.latency)
+                << "seed " << seed << " access " << i << " core " << c;
+            ASSERT_EQ(a_out.servedBy, b_out.servedBy)
+                << "seed " << seed << " access " << i << " core " << c;
+            ASSERT_EQ(a_out.l2DemandMiss, b_out.l2DemandMiss)
+                << "seed " << seed << " access " << i << " core " << c;
+        } else if (kind < 90) {
+            const Addr a = base + data_base +
+                           (rng.chance(0.5)
+                                ? (i % 64) * 256
+                                : rng.below(data_bytes));
+            req.vaddr = req.paddr = a;
+            req.pc = 0x8000 + (kind % 8) * 4;
+            req.type = rng.chance(0.3) ? AccessType::Store
+                                       : AccessType::Load;
+            const AccessOutcome a_out =
+                masked.core(c).dataAccess(req, now);
+            const AccessOutcome b_out =
+                naive.core(c).dataAccess(req, now);
+            ASSERT_EQ(a_out.latency, b_out.latency)
+                << "seed " << seed << " access " << i << " core " << c;
+            ASSERT_EQ(a_out.servedBy, b_out.servedBy)
+                << "seed " << seed << " access " << i << " core " << c;
+            ASSERT_EQ(a_out.l2DemandMiss, b_out.l2DemandMiss)
+                << "seed " << seed << " access " << i << " core " << c;
+        } else if (kind < 97) {
+            const Addr a = base + code_base + rng.below(code_bytes);
+            req.vaddr = req.paddr = mp.hier.l2.lineAddr(a);
+            req.pc = req.vaddr;
+            req.type = AccessType::InstPrefetch;
+            req.temp = static_cast<Temperature>(rng.below(4));
+            masked.core(c).instPrefetch(req, now);
+            naive.core(c).instPrefetch(req, now);
+        } else {
+            const Addr a = base + code_base + rng.below(code_bytes);
+            masked.core(c).markL2Priority(a);
+            naive.core(c).markL2Priority(a);
+        }
+    }
+
+    for (unsigned c = 0; c < masked.numCores(); ++c) {
+        const std::string lvl = "core" + std::to_string(c);
+        expectCacheStatsEq((lvl + ".l1i").c_str(),
+                           masked.core(c).l1i().stats(),
+                           naive.core(c).l1i().stats(), seed);
+        expectCacheStatsEq((lvl + ".l1d").c_str(),
+                           masked.core(c).l1d().stats(),
+                           naive.core(c).l1d().stats(), seed);
+        expectCacheStatsEq((lvl + ".l2").c_str(),
+                           masked.core(c).l2().stats(),
+                           naive.core(c).l2().stats(), seed);
+        EXPECT_EQ(masked.core(c).prefetchStats().issued,
+                  naive.core(c).prefetchStats().issued)
+            << "seed " << seed << " core " << c;
+        EXPECT_EQ(masked.core(c).prefetchStats().covered,
+                  naive.core(c).prefetchStats().covered)
+            << "seed " << seed << " core " << c;
+        EXPECT_EQ(masked.core(c).prefetchStats().late,
+                  naive.core(c).prefetchStats().late)
+            << "seed " << seed << " core " << c;
+    }
+    expectCacheStatsEq("slc", masked.slc().stats(),
+                       naive.slc().stats(), seed);
+    EXPECT_EQ(masked.dram().reads(), naive.dram().reads())
+        << "seed " << seed;
+    EXPECT_EQ(masked.dram().writes(), naive.dram().writes())
+        << "seed " << seed;
+    EXPECT_TRUE(masked.checkInclusion()) << "seed " << seed;
+    EXPECT_TRUE(naive.checkInclusion()) << "seed " << seed;
+}
+
+MultiCoreParams
+multiCoreDiffParams(unsigned cores)
+{
+    MultiCoreParams mp;
+    mp.hier = diffParams();
+    // Small enough that SLC evictions -- the cascade under test --
+    // fire constantly against the combined private footprints.
+    mp.hier.slc = CacheGeometry{"SLC", 32 * 1024, 8, 64};
+    mp.numCores = cores;
+    return mp;
+}
+
+TEST(MultiCoreDifferential, MaskedBackInvalidationMatchesNaiveTwoCore)
+{
+    for (const std::uint64_t seed : {71ull, 72ull, 73ull})
+        runMultiCoreDifferential(multiCoreDiffParams(2), seed, 20000);
+}
+
+TEST(MultiCoreDifferential, MaskedBackInvalidationMatchesNaiveTrrip)
+{
+    MultiCoreParams mp = multiCoreDiffParams(3);
+    mp.hier.l2Policy = PolicySpec("TRRIP-2");
+    runMultiCoreDifferential(mp, 81, 20000);
+}
+
+TEST(MultiCoreDifferential, MaskedBackInvalidationMatchesNaiveFourCore)
+{
+    MultiCoreParams mp = multiCoreDiffParams(4);
+    mp.hier.slcPolicy = PolicySpec("SRRIP");
+    runMultiCoreDifferential(mp, 91, 20000);
+}
+
+TEST(MultiCoreDifferential, MaskedBackInvalidationMatchesNaiveTinySlc)
+{
+    // An SLC barely bigger than one L2: back-invalidation dominates
+    // and nearly every fill displaces someone's private lines.
+    MultiCoreParams mp = multiCoreDiffParams(4);
+    mp.hier.slc = CacheGeometry{"SLC", 16 * 1024, 4, 64};
+    mp.hier.l2Policy = PolicySpec("Emissary");
+    runMultiCoreDifferential(mp, 101, 20000);
+}
+
 } // namespace
 } // namespace trrip

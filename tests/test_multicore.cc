@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Multi-core driver suite (sim/multicore.hh).
+ *
+ * Three rings of proof, from the inside out:
+ *  - hand-computed interleaving over a fixed-size event source: the
+ *    round-robin schedule advances every core by exactly one quantum
+ *    per rotation, a budget-exhausted core drops out while the others
+ *    progress, and an SLC eviction back-invalidates exactly the
+ *    owning core's private levels;
+ *  - N=1 equivalence: a one-core bundle replays every pinned
+ *    single-core golden fingerprint (proxy and trace) bit for bit --
+ *    the multi-core path IS the single-core engine when no sharing
+ *    exists;
+ *  - N>1 pinned fingerprints: 2- and 4-core bundles with mixed
+ *    temperature profiles, one bundle mixing a proxy core with a
+ *    trace-replay core, plus driver-level determinism and the
+ *    masked-vs-naive back-invalidation equivalence end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/golden.hh"
+#include "sim/multicore.hh"
+#include "trace/generate.hh"
+#include "trace/replay.hh"
+
+namespace trrip {
+namespace {
+
+// ------------------------------------------------------------ labels
+
+TEST(MultiCoreName, ParsesBundleLabels)
+{
+    EXPECT_TRUE(isMultiCoreName("mc:python+gcc"));
+    EXPECT_FALSE(isMultiCoreName("python"));
+    EXPECT_FALSE(isMultiCoreName("trace:foo.trrtrc"));
+
+    const std::vector<std::string> one = multiCoreWorkloadsOf("mc:gcc");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], "gcc");
+
+    const std::vector<std::string> four =
+        multiCoreWorkloadsOf("mc:python+clang+gcc+sqlite");
+    ASSERT_EQ(four.size(), 4u);
+    EXPECT_EQ(four[0], "python");
+    EXPECT_EQ(four[3], "sqlite");
+
+    EXPECT_TRUE(multiCoreWorkloadsOf("python").empty());
+}
+
+// ---------------------------------- hand-computed interleaving cases
+
+/**
+ * Pure generator of 10-instruction, branch-free, data-free blocks
+ * cycling over a small code footprint.  Every event is identical in
+ * size, so quantum arithmetic is exact: step(k * 10) retires exactly
+ * k events.
+ */
+class FixedSource final : public BBEventSource
+{
+  public:
+    explicit FixedSource(Addr base) : base_(base) {}
+
+    void
+    produce(BBEvent *ring, std::uint32_t mask, std::uint32_t pos,
+            std::uint32_t count) override
+    {
+        for (std::uint32_t k = 0; k < count; ++k) {
+            BBEvent &ev = ring[(pos + k) & mask];
+            ev.bb = next_ % 8;
+            ev.vaddr = base_ + (next_ % 8) * 64;
+            ev.instrs = 10;
+            ev.bytes = 16;
+            ev.hasBranch = false;
+            ev.numData = 0;
+            ev.fdipMispredict = false;
+            ++next_;
+        }
+    }
+
+  private:
+    Addr base_;
+    std::uint64_t next_ = 0;
+};
+
+/** Tiny two-core fabric + engines around FixedSources. */
+struct TwoCoreRig
+{
+    MultiCoreHierarchy fabric;
+    PageTable pt;
+    Mmu mmu0, mmu1;
+    BranchUnit br0, br1;
+    FixedSource src0, src1;
+    CoreModel core0, core1;
+
+    static MultiCoreParams
+    params()
+    {
+        MultiCoreParams mp;
+        mp.hier.l1i = CacheGeometry{"L1I", 256, 2, 64};
+        mp.hier.l1d = CacheGeometry{"L1D", 256, 2, 64};
+        mp.hier.l2 = CacheGeometry{"L2", 512, 1, 64};
+        mp.hier.slc = CacheGeometry{"SLC", 1024, 2, 64};
+        mp.hier.enablePrefetch = false;
+        mp.numCores = 2;
+        return mp;
+    }
+
+    static CoreParams
+    coreParams()
+    {
+        CoreParams cp;
+        cp.mode = SimMode::Exact;
+        return cp;
+    }
+
+    TwoCoreRig() :
+        fabric(params()), pt(4096), mmu0(pt), mmu1(pt),
+        br0(BranchParams{}), br1(BranchParams{}), src0(0x10000),
+        src1(0x20000),
+        core0(src0, fabric.core(0), mmu0, br0, coreParams(),
+              BackendParams{}),
+        core1(src1, fabric.core(1), mmu1, br1, coreParams(),
+              BackendParams{})
+    {
+        // Both cores' code pages, mapped up front (no loader here).
+        pt.map(0x10000, Temperature::Hot);
+        pt.map(0x20000, Temperature::Warm);
+    }
+};
+
+TEST(MultiCoreInterleave, RoundRobinAdvancesEachCoreOneQuantum)
+{
+    TwoCoreRig rig;
+    const InstCount quantum = 100;  // = exactly 10 FixedSource events.
+    for (InstCount target = quantum; target <= 500; target += quantum) {
+        rig.core0.step(target);
+        rig.core1.step(target);
+        // Fixed 10-instruction events divide the quantum exactly, so
+        // the rotation boundary is computable by hand: no overshoot,
+        // perfect fairness at every boundary.
+        EXPECT_EQ(rig.core0.retired(), target);
+        EXPECT_EQ(rig.core1.retired(), target);
+    }
+    const SimResult r0 = rig.core0.finalize();
+    const SimResult r1 = rig.core1.finalize();
+    EXPECT_EQ(r0.instructions, 500u);
+    EXPECT_EQ(r1.instructions, 500u);
+}
+
+TEST(MultiCoreInterleave, ExhaustedCoreDropsOutOthersProgress)
+{
+    TwoCoreRig rig;
+    const InstCount quantum = 100;
+    const InstCount budget0 = 200, budget1 = 1000;
+    while (rig.core0.retired() < budget0 ||
+           rig.core1.retired() < budget1) {
+        if (rig.core0.retired() < budget0)
+            rig.core0.step(std::min<InstCount>(
+                budget0, rig.core0.retired() + quantum));
+        if (rig.core1.retired() < budget1)
+            rig.core1.step(std::min<InstCount>(
+                budget1, rig.core1.retired() + quantum));
+    }
+    EXPECT_EQ(rig.core0.retired(), budget0);
+    EXPECT_EQ(rig.core1.retired(), budget1);
+    const SimResult r1 = rig.core1.finalize();
+    EXPECT_EQ(r1.instructions, budget1);
+}
+
+TEST(MultiCoreInterleave, SlcEvictionBackInvalidatesExactlyTheOwner)
+{
+    // Direct-mapped 8-set L2s and a 2-way 8-set SLC: addresses 0x0,
+    // 0x200, 0x400 all map to set 0 of every level.
+    MultiCoreParams mp = TwoCoreRig::params();
+    mp.hier.slc = CacheGeometry{"SLC", 512, 1, 64};  // 8 sets, 1-way.
+    MultiCoreHierarchy fabric(mp);
+
+    const Addr line_a = 0x0, line_b = 0x200;
+    MemRequest req;
+    req.type = AccessType::InstFetch;
+    req.temp = Temperature::Hot;
+
+    // Core 0 fetches A: private L1I/L2 copies + SLC owner bit 0.
+    req.vaddr = req.paddr = req.pc = line_a;
+    fabric.core(0).instFetch(req, 0);
+    EXPECT_TRUE(fabric.core(0).l2().contains(line_a));
+    EXPECT_TRUE(fabric.core(0).l1i().contains(line_a));
+    EXPECT_TRUE(fabric.slc().contains(line_a));
+    EXPECT_EQ(fabric.slc().ownerOf(line_a), 0b01u);
+    EXPECT_TRUE(fabric.checkInclusion());
+
+    // Core 1 fetches B (same SLC set, 1-way): the SLC evicts A and
+    // must back-invalidate core 0's copies -- and ONLY core 0's.
+    req.vaddr = req.paddr = req.pc = line_b;
+    fabric.core(1).instFetch(req, 100);
+    EXPECT_FALSE(fabric.core(0).l2().contains(line_a));
+    EXPECT_FALSE(fabric.core(0).l1i().contains(line_a));
+    EXPECT_TRUE(fabric.core(1).l2().contains(line_b));
+    EXPECT_TRUE(fabric.core(1).l1i().contains(line_b));
+    // The probe hit exactly the owner: core 0 saw one L2 + one L1I
+    // invalidation, core 1 none at all.
+    EXPECT_EQ(fabric.core(0).l2().stats().invalidations, 1u);
+    EXPECT_EQ(fabric.core(0).l1i().stats().invalidations, 1u);
+    EXPECT_EQ(fabric.core(1).l2().stats().invalidations, 0u);
+    EXPECT_EQ(fabric.core(1).l1i().stats().invalidations, 0u);
+    EXPECT_TRUE(fabric.checkInclusion());
+}
+
+TEST(MultiCoreInterleave, OwnerMaskTracksSharersAndReleases)
+{
+    MultiCoreParams mp = TwoCoreRig::params();
+    MultiCoreHierarchy fabric(mp);
+
+    const Addr line_a = 0x0, line_a2 = 0x200;
+    MemRequest req;
+    req.type = AccessType::InstFetch;
+    req.temp = Temperature::Warm;
+
+    // Both cores fetch A: the SLC mask accumulates both owner bits.
+    req.vaddr = req.paddr = req.pc = line_a;
+    fabric.core(0).instFetch(req, 0);
+    EXPECT_EQ(fabric.slc().ownerOf(line_a), 0b01u);
+    fabric.core(1).instFetch(req, 10);
+    EXPECT_EQ(fabric.slc().ownerOf(line_a), 0b11u);
+    EXPECT_TRUE(fabric.checkInclusion());
+
+    // Core 0 fetches A2 (same direct-mapped L2 set; the 2-way SLC
+    // set holds both): core 0's L2 evicts A, which only RELEASES its
+    // owner bit -- the SLC copy stays, core 1's copies stay.
+    req.vaddr = req.paddr = req.pc = line_a2;
+    fabric.core(0).instFetch(req, 20);
+    EXPECT_FALSE(fabric.core(0).l2().contains(line_a));
+    EXPECT_TRUE(fabric.slc().contains(line_a));
+    EXPECT_EQ(fabric.slc().ownerOf(line_a), 0b10u);
+    EXPECT_TRUE(fabric.core(1).l2().contains(line_a));
+    EXPECT_EQ(fabric.slc().ownerOf(line_a2), 0b01u);
+    EXPECT_TRUE(fabric.checkInclusion());
+
+    // Core 0 re-fetches A: a shared-SLC demand hit re-ORs bit 0.
+    req.vaddr = req.paddr = req.pc = line_a;
+    fabric.core(0).instFetch(req, 30);
+    EXPECT_EQ(fabric.slc().ownerOf(line_a), 0b11u);
+    EXPECT_TRUE(fabric.checkInclusion());
+}
+
+// --------------------------------------------- N=1 golden equivalence
+
+TEST(MultiCoreGolden, OneCoreBundleReplaysProxyGoldens)
+{
+    // The multi-core driver with one core must BE the single-core
+    // pipeline: every pinned proxy fingerprint replays bit for bit.
+    for (const GoldenCase &c : goldenCases()) {
+        MultiCoreOptions mo;
+        mo.base = c.options();
+        mo.base.core.mode = SimMode::Exact;
+        const MultiCoreResult mc =
+            runMultiCore({c.workload}, c.policy, mo);
+        ASSERT_EQ(mc.cores.size(), 1u);
+        std::string dump;
+        const std::uint64_t fp =
+            goldenFingerprint(mc.cores[0].result, &dump);
+        EXPECT_EQ(fp, c.expected)
+            << "mc:" << c.workload << " / " << c.policy
+            << ": one-core bundle diverged from the single-core "
+            << "engine.  Counter dump:\n" << dump;
+    }
+}
+
+TEST(MultiCoreGolden, OneCoreBundleReplaysTraceGoldens)
+{
+    const std::string dir = "golden_mini_traces";
+    trace::generateMiniTracePack(dir);
+    for (const TraceGoldenCase &c : traceGoldenCases()) {
+        MultiCoreOptions mo;
+        mo.base = c.options();
+        mo.base.core.mode = SimMode::Exact;
+        const std::string label =
+            std::string(trace::kTracePrefix) +
+            trace::miniTracePath(dir, c.trace);
+        const MultiCoreResult mc = runMultiCore({label}, c.policy, mo);
+        ASSERT_EQ(mc.cores.size(), 1u);
+        std::string dump;
+        const std::uint64_t fp =
+            goldenFingerprint(mc.cores[0].result, &dump);
+        EXPECT_EQ(fp, c.expected)
+            << "mc trace " << c.trace << " / " << c.policy
+            << ": one-core bundle diverged from the single-core "
+            << "trace replay.  Counter dump:\n" << dump;
+    }
+}
+
+TEST(MultiCoreGolden, OneCoreBundleIsQuantumInvariant)
+{
+    // run(n) == { step(n); finalize() } end to end: with no shared
+    // state, cutting the run into quanta of any size must not move a
+    // single bit of the result.
+    const GoldenCase &c = goldenCases().front();
+    std::uint64_t fps[2];
+    const InstCount quanta[2] = {1000, 10 * kGoldenBudget};
+    for (int i = 0; i < 2; ++i) {
+        MultiCoreOptions mo;
+        mo.base = c.options();
+        mo.base.core.mode = SimMode::Exact;
+        mo.quantum = quanta[i];
+        const MultiCoreResult mc =
+            runMultiCore({c.workload}, c.policy, mo);
+        fps[i] = goldenFingerprint(mc.cores[0].result);
+    }
+    EXPECT_EQ(fps[0], fps[1]) << "quantum size leaked into an "
+                              << "unshared one-core result";
+}
+
+// ----------------------------------------- N>1 pinned configurations
+
+std::vector<std::string>
+resolveBundle(const char *workloads, const std::string &trace_dir)
+{
+    std::vector<std::string> labels = multiCoreWorkloadsOf(
+        std::string(kMultiCorePrefix) + workloads);
+    for (std::string &label : labels) {
+        if (!label.empty() && label[0] == '@') {
+            label = std::string(trace::kTracePrefix) +
+                    trace::miniTracePath(trace_dir, label.substr(1));
+        }
+    }
+    return labels;
+}
+
+TEST(MultiCoreGolden, MultiCoreFingerprintsAreBitIdentical)
+{
+    const std::string dir = "golden_mini_traces";
+    trace::generateMiniTracePack(dir);
+    const bool print = std::getenv("TRRIP_PRINT_GOLDEN") != nullptr;
+    for (const MultiCoreGoldenCase &c : multiCoreGoldenCases()) {
+        MultiCoreOptions mo;
+        mo.base = c.options();
+        mo.base.core.mode = SimMode::Exact;
+        const MultiCoreResult mc =
+            runMultiCore(resolveBundle(c.workloads, dir), c.policy, mo);
+        const std::uint64_t fp = multiCoreFingerprint(mc);
+        if (print) {
+            std::printf("        {\"%s\", \"%s\", %s, "
+                        "0x%016llxull},\n",
+                        c.workloads, c.policy,
+                        c.pgo ? "true" : "false",
+                        static_cast<unsigned long long>(fp));
+            continue;
+        }
+        EXPECT_EQ(fp, c.expected)
+            << "mc:" << c.workloads << " / " << c.policy
+            << ": multi-core simulation behavior changed.";
+    }
+}
+
+TEST(MultiCoreGolden, DriverIsDeterministicAcrossRuns)
+{
+    MultiCoreOptions mo;
+    mo.base.maxInstructions = 30'000;
+    mo.base.core.mode = SimMode::Exact;
+    const std::vector<std::string> bundle = {"gcc", "sqlite"};
+    const std::uint64_t fp1 = multiCoreFingerprint(
+        runMultiCore(bundle, "TRRIP-2", mo));
+    const std::uint64_t fp2 = multiCoreFingerprint(
+        runMultiCore(bundle, "TRRIP-2", mo));
+    EXPECT_EQ(fp1, fp2) << "same spec, different bits";
+}
+
+TEST(MultiCoreGolden, MaskedAndNaiveBackInvalidationAgreeEndToEnd)
+{
+    // The randomized hierarchy-level differential lives in
+    // tests/test_cache.cc; this is the same equivalence driven by the
+    // full engine: owner-masked back-invalidation must not move one
+    // bit of any core's counters versus probing every core.
+    MultiCoreOptions mo;
+    mo.base.maxInstructions = 30'000;
+    mo.base.core.mode = SimMode::Exact;
+    // A small SLC so evictions (the cascade under test) are constant.
+    mo.base.hier.slc = CacheGeometry{"SLC", 64 * 1024, 8, 64};
+    const std::vector<std::string> bundle = {"python", "gcc"};
+    const std::uint64_t masked = multiCoreFingerprint(
+        runMultiCore(bundle, "SRRIP", mo));
+    mo.naiveBackInvalidate = true;
+    const std::uint64_t naive = multiCoreFingerprint(
+        runMultiCore(bundle, "SRRIP", mo));
+    EXPECT_EQ(masked, naive)
+        << "owner-masked back-invalidation changed observable "
+        << "behavior";
+}
+
+TEST(MultiCoreGolden, PerCoreBudgetsRunIndependently)
+{
+    MultiCoreOptions mo;
+    mo.base.core.mode = SimMode::Exact;
+    mo.base.profileInstructions = 20'000;
+    mo.quantum = 2'000;
+    mo.coreBudgets = {5'000, 40'000};
+    const MultiCoreResult mc =
+        runMultiCore({"gcc", "gcc"}, "SRRIP", mo);
+    ASSERT_EQ(mc.cores.size(), 2u);
+    // The stalled core stops within one event of its budget while the
+    // other runs its full course.
+    EXPECT_GE(mc.cores[0].result.instructions, 5'000u);
+    EXPECT_LT(mc.cores[0].result.instructions, 6'000u);
+    EXPECT_GE(mc.cores[1].result.instructions, 40'000u);
+}
+
+} // namespace
+} // namespace trrip

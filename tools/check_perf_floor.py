@@ -13,6 +13,8 @@ Checks, in order (each only when the sidecar carries the field):
   scaling efficiency (aggregate / (serial * workers), in [0, 1]).
 * ``trace.minstr_per_sec >= $TRRIP_TRACE_FLOOR`` -- the serial
   trace-replay floor for bench/trace_replay's sidecar.
+* ``multicore.minstr_per_sec >= $TRRIP_MULTICORE_FLOOR`` -- the
+  multi-core bundle floor for bench/multicore's sidecar.
 * ``golden_fingerprints.matched == golden_fingerprints.total`` and
   ``deterministic == true`` -- unconditional when present: a perf
   number measured over wrong simulation behavior is meaningless.
@@ -170,6 +172,22 @@ def main() -> int:
                     f"{float(trace_floor):.2f} floor -- trace replay "
                     "got slower; find the regression instead of "
                     "lowering the floor.")
+
+    mc_floor = os.environ.get("TRRIP_MULTICORE_FLOOR")
+    if mc_floor:
+        if "multicore" not in sidecar:
+            status |= fail("TRRIP_MULTICORE_FLOOR set but the sidecar "
+                           "has no multicore block.")
+        else:
+            rate = sidecar["multicore"]["minstr_per_sec"]
+            print(f"multi-core throughput: {rate:.2f} Minstr/s "
+                  f"(floor {float(mc_floor):.2f})")
+            if rate < float(mc_floor):
+                status |= fail(
+                    f"{rate:.2f} multi-core Minstr/s is below the "
+                    f"{float(mc_floor):.2f} floor -- the bundle "
+                    "driver got slower; find the regression instead "
+                    "of lowering the floor.")
 
     drift = sidecar.get("drift")
     if drift is not None:
